@@ -1,0 +1,19 @@
+"""Benchmarks for the extension experiments (ablations + stateful)."""
+
+from conftest import run_experiment_bench
+
+
+def test_ext_stateful_benchmark(benchmark, bench_dataset):
+    run_experiment_bench(benchmark, bench_dataset, "ext_stateful")
+
+
+def test_ext_ablation_tokenizer_benchmark(benchmark, bench_dataset):
+    run_experiment_bench(benchmark, bench_dataset, "ext_ablation_tokenizer")
+
+
+def test_ext_ablation_ruleorder_benchmark(benchmark, bench_dataset):
+    run_experiment_bench(benchmark, bench_dataset, "ext_ablation_ruleorder")
+
+
+def test_ext_ablation_detection_benchmark(benchmark, bench_dataset):
+    run_experiment_bench(benchmark, bench_dataset, "ext_ablation_detection")

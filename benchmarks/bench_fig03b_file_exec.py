@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 3(b): file-exec sessions.
+
+Prints the regenerated rows/series once per benchmark session via the
+returned ExperimentResult; the benchmark measures the analysis cost at
+BENCH_CONFIG scale.
+"""
+
+from conftest import run_experiment_bench
+
+
+def test_fig03b_benchmark(benchmark, bench_dataset):
+    result = run_experiment_bench(benchmark, bench_dataset, "fig03b")
+    assert result.experiment_id == "fig03b"

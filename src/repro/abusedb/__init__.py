@@ -1,0 +1,29 @@
+"""Synthetic abuse databases and threat-intelligence feeds."""
+
+from repro.abusedb.aggregate import AbuseDatasets, build_abuse_datasets
+from repro.abusedb.feeds import (
+    ALWAYS_KNOWN_STRAINS,
+    HASH_COVERAGE_PER_MILLE,
+    IP_COVERAGE_PERCENT,
+    AbuseFeed,
+    build_feeds,
+)
+from repro.abusedb.model import HashRecord, IPRecord
+from repro.abusedb.shadowserver import (
+    CompromisedSshReport,
+    build_shadowserver_report,
+)
+
+__all__ = [
+    "AbuseDatasets",
+    "build_abuse_datasets",
+    "ALWAYS_KNOWN_STRAINS",
+    "HASH_COVERAGE_PER_MILLE",
+    "IP_COVERAGE_PERCENT",
+    "AbuseFeed",
+    "build_feeds",
+    "HashRecord",
+    "IPRecord",
+    "CompromisedSshReport",
+    "build_shadowserver_report",
+]

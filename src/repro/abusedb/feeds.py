@@ -1,0 +1,115 @@
+"""Synthetic abuse feeds (abuse.ch / VirusTotal / Team Cymru /
+ArmstrongTechs stand-ins).
+
+What matters for the reproduction is the *coverage structure* the paper
+measures against (section 6): only ~5 % of observed hashes resolve to a
+label (variants defeat hash lookups; not everything gets reported), the
+mdrfckr persistence key is labelled CoinMiner/Malicious, the TV-box and
+2024-resurgence samples are labelled Mirai, and 56 % of storage IPs
+have been reported (section 7).
+
+Coverage decisions are deterministic functions of the hash/IP value, so
+the same artifact is labelled identically across runs and scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.abusedb.model import HashRecord, IPRecord
+from repro.attackers.malware import MalwareFactory, MalwareFamily, MalwareSample
+from repro.util.hashing import sha256_hex
+
+#: Per-mille of variant hashes that resolve to a label (paper: <5 %).
+HASH_COVERAGE_PER_MILLE = 43
+#: Of labelled hashes, per-mille labelled generically "Malicious"
+#: instead of with their family.
+GENERIC_LABEL_PER_MILLE = 120
+#: Percent of storage IPs previously reported (paper: 56 %).
+IP_COVERAGE_PERCENT = 56
+
+#: Strains whose classic hashes every feed knows (section 6/8).
+ALWAYS_KNOWN_STRAINS = {
+    "tvbox", "Corona", "Kyton", "Ares", "classic", "wave", "xor", "hybrid",
+}
+
+
+def _hash_bucket(sha256: str, modulus: int = 1000) -> int:
+    return int(sha256[:12], 16) % modulus
+
+
+def _ip_bucket(ip: str, modulus: int = 100) -> int:
+    return int(sha256_hex(ip)[:12], 16) % modulus
+
+
+@dataclass
+class AbuseFeed:
+    """One threat-intelligence source."""
+
+    name: str
+    hash_records: dict[str, HashRecord] = field(default_factory=dict)
+    ip_records: dict[str, IPRecord] = field(default_factory=dict)
+
+    def lookup_hash(self, sha256: str) -> HashRecord | None:
+        return self.hash_records.get(sha256)
+
+    def lookup_ip(self, ip: str) -> IPRecord | None:
+        return self.ip_records.get(ip)
+
+    def add_hash(self, sha256: str, label: str) -> None:
+        self.hash_records[sha256] = HashRecord(sha256, label, self.name)
+
+    def add_ip(self, ip: str, tag: str) -> None:
+        self.ip_records[ip] = IPRecord(ip, tag, self.name)
+
+
+def _label_for(sample: MalwareSample) -> str | None:
+    """Which label (if any) the ecosystem knows for a sample hash."""
+    digest = sample.sha256
+    if sample.strain in ALWAYS_KNOWN_STRAINS and _hash_bucket(digest) < 400:
+        return sample.family.value
+    if _hash_bucket(digest) >= HASH_COVERAGE_PER_MILLE:
+        return None
+    if sample.family == MalwareFamily.UNKNOWN:
+        return "Malicious"
+    if _hash_bucket(digest, 1000) % 997 < GENERIC_LABEL_PER_MILLE:
+        return "Malicious"
+    return sample.family.value
+
+
+def build_feeds(
+    factory: MalwareFactory,
+    storage_ips: list[str],
+    extra_hashes: dict[str, str] | None = None,
+) -> list[AbuseFeed]:
+    """Construct the four feeds from the ground-truth catalogue.
+
+    ``extra_hashes`` maps hash → label for artifacts known outside the
+    malware catalogue (e.g. the mdrfckr persistence key).
+    """
+    abusech = AbuseFeed("abuse.ch")
+    virustotal = AbuseFeed("VirusTotal")
+    cymru = AbuseFeed("TeamCymru")
+    armstrong = AbuseFeed("ArmstrongTechs")
+
+    for digest, sample in factory.catalogue.items():
+        label = _label_for(sample)
+        if label is None:
+            continue
+        virustotal.add_hash(digest, label)  # VT aggregates everything
+        spread = _hash_bucket(digest, 3)
+        if spread == 0:
+            abusech.add_hash(digest, label)
+        elif spread == 1:
+            armstrong.add_hash(digest, label)
+    for digest, label in (extra_hashes or {}).items():
+        virustotal.add_hash(digest, label)
+        abusech.add_hash(digest, label)
+
+    for ip in storage_ips:
+        if _ip_bucket(ip) < IP_COVERAGE_PERCENT:
+            cymru.add_ip(ip, "malware-distribution")
+            if _ip_bucket(ip, 7) == 0:
+                abusech.add_ip(ip, "malware-distribution")
+
+    return [abusech, virustotal, cymru, armstrong]

@@ -1,0 +1,23 @@
+"""Data model for synthetic abuse-database records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HashRecord:
+    """One labelled file hash in an abuse feed."""
+
+    sha256: str
+    label: str          # family name ("Mirai", ...) or "Malicious"
+    source: str         # which feed knows it
+
+
+@dataclass(frozen=True)
+class IPRecord:
+    """One reported IP in an abuse feed."""
+
+    ip: str
+    tag: str            # e.g. "malware-distribution", "c2", "ddos"
+    source: str

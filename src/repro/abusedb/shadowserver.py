@@ -1,0 +1,51 @@
+"""Shadowserver-style "Compromised SSH Host" special report (section 9).
+
+The report lists hosts carrying known-malicious public SSH keys; the
+paper found the mdrfckr key on >13k servers, the most prevalent key in
+the dataset.  We synthesize the same structure at simulation scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.hashing import sha256_hex
+from repro.util.rng import RngTree
+
+
+@dataclass
+class CompromisedSshReport:
+    """Counts of compromised hosts per malicious key."""
+
+    hosts_by_key: dict[str, int] = field(default_factory=dict)
+
+    def host_count(self, key_hash: str) -> int:
+        return self.hosts_by_key.get(key_hash, 0)
+
+    def most_prevalent(self) -> str | None:
+        if not self.hosts_by_key:
+            return None
+        return max(self.hosts_by_key, key=self.hosts_by_key.get)
+
+
+def build_shadowserver_report(
+    mdrfckr_key: str,
+    rapperbot_key: str,
+    scale: float,
+    tree: RngTree,
+) -> CompromisedSshReport:
+    """Synthesize the report with the mdrfckr key most prevalent."""
+    rng = tree.child("shadowserver").rand()
+    mdrfckr_hosts = max(6, int(round(13_000 * scale * 50)))
+    report = CompromisedSshReport()
+    report.hosts_by_key[sha256_hex(mdrfckr_key)] = mdrfckr_hosts
+    report.hosts_by_key[sha256_hex(rapperbot_key)] = max(
+        2, int(mdrfckr_hosts * rng.uniform(0.15, 0.35))
+    )
+    # a long tail of other malicious keys
+    for index in range(12):
+        fake_key = f"ssh-rsa AAAA-tail-{index}"
+        report.hosts_by_key[sha256_hex(fake_key)] = max(
+            1, int(mdrfckr_hosts * rng.uniform(0.01, 0.12))
+        )
+    return report

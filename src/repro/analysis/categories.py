@@ -1,0 +1,42 @@
+"""Top-level session taxonomy (paper section 3.3).
+
+Every session falls into exactly one of four categories based on how
+far the client got: Scanning (handshake only), Scouting (failed
+logins), Intrusion (login, no commands), Command Execution (login and
+at least one command).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import Enum
+
+from repro.honeypot.session import SessionRecord
+
+
+class SessionCategory(str, Enum):
+    """The four top-level session categories."""
+
+    SCANNING = "Scanning"
+    SCOUTING = "Scouting"
+    INTRUSION = "Intrusion"
+    COMMAND_EXECUTION = "Command Execution"
+
+
+def categorize(session: SessionRecord) -> SessionCategory:
+    """Classify one session."""
+    if not session.logins:
+        return SessionCategory.SCANNING
+    if not session.login_succeeded:
+        return SessionCategory.SCOUTING
+    if not session.executed_commands:
+        return SessionCategory.INTRUSION
+    return SessionCategory.COMMAND_EXECUTION
+
+
+def category_counts(sessions: list[SessionRecord]) -> Counter:
+    """Counts per category over a session collection."""
+    counts: Counter = Counter()
+    for session in sessions:
+        counts[categorize(session)] += 1
+    return counts

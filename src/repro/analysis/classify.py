@@ -1,0 +1,52 @@
+"""Applying the Table-1 rules to sessions."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.analysis.regexrules import RULES, UNKNOWN_CATEGORY, CategoryRule
+from repro.honeypot.session import SessionRecord
+
+
+class CommandClassifier:
+    """First-match-wins classifier over the ordered rule table."""
+
+    def __init__(self, rules: tuple[CategoryRule, ...] = RULES) -> None:
+        self.rules = rules
+
+    def classify_text(self, text: str) -> str:
+        """Category of one command string."""
+        for rule in self.rules:
+            if rule.matches(text):
+                return rule.name
+        return UNKNOWN_CATEGORY
+
+    def classify(self, session: SessionRecord) -> str:
+        """Category of one session (over its concatenated commands)."""
+        return self.classify_text(session.command_text)
+
+    def counts(self, sessions: list[SessionRecord]) -> Counter:
+        """Category histogram over many sessions."""
+        histogram: Counter = Counter()
+        for session in sessions:
+            histogram[self.classify(session)] += 1
+        return histogram
+
+    def group(self, sessions: list[SessionRecord]) -> dict[str, list[SessionRecord]]:
+        """Sessions grouped by category."""
+        groups: dict[str, list[SessionRecord]] = defaultdict(list)
+        for session in sessions:
+            groups[self.classify(session)].append(session)
+        return dict(groups)
+
+    def coverage(self, sessions: list[SessionRecord]) -> float:
+        """Fraction of sessions matched by a non-fallback rule."""
+        if not sessions:
+            return 0.0
+        histogram = self.counts(sessions)
+        unknown = histogram.get(UNKNOWN_CATEGORY, 0)
+        return 1.0 - unknown / len(sessions)
+
+
+#: Module-level default classifier (rules are immutable).
+DEFAULT_CLASSIFIER = CommandClassifier()

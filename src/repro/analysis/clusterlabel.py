@@ -1,0 +1,97 @@
+"""Associating clusters with malware families (section 6).
+
+After K-medoids clustering, clusters are ordered by average token count
+("Cluster 1" shortest, as in Figure 5) and each cluster's hashes are
+cross-referenced against the abuse datasets, yielding labels like
+"C-2 (Gafgyt)" or "C-1 (Mirai, Dofloo, CoinMiner, Gafgyt)".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abusedb.aggregate import AbuseDatasets
+from repro.analysis.kmedoids import ClusteringResult
+from repro.honeypot.session import SessionRecord
+
+
+@dataclass
+class ClusterProfile:
+    """One cluster, ordered and labelled."""
+
+    rank: int                       # 1-based, by average token count
+    raw_index: int                  # cluster index in the clustering
+    sessions: list[SessionRecord]
+    avg_tokens: float
+    family_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def families(self) -> list[str]:
+        """Families seen in this cluster, most common first."""
+        return [name for name, _ in self.family_counts.most_common()]
+
+    @property
+    def label(self) -> str:
+        if not self.family_counts:
+            return f"C-{self.rank}"
+        joined = ", ".join(self.families[:4])
+        return f"C-{self.rank} ({joined})"
+
+    @property
+    def size(self) -> int:
+        return len(self.sessions)
+
+
+def profile_clusters(
+    clustering: ClusteringResult,
+    sessions: list[SessionRecord],
+    token_sequences: list[list[str]],
+    abuse: AbuseDatasets,
+) -> list[ClusterProfile]:
+    """Order clusters by mean token count and label them via abuse DBs."""
+    if len(sessions) != len(clustering.labels):
+        raise ValueError("sessions and labels must align")
+    profiles: list[ClusterProfile] = []
+    for cluster_index in range(clustering.k):
+        members = clustering.members(cluster_index)
+        if members.size == 0:
+            continue
+        member_sessions = [sessions[i] for i in members]
+        avg_tokens = float(
+            np.mean([len(token_sequences[i]) for i in members])
+        )
+        families: Counter = Counter()
+        for session in member_sessions:
+            for digest in set(session.download_hashes()):
+                label = abuse.label(digest)
+                if label is not None:
+                    families[label] += 1
+        profiles.append(
+            ClusterProfile(
+                rank=0,
+                raw_index=cluster_index,
+                sessions=member_sessions,
+                avg_tokens=avg_tokens,
+                family_counts=families,
+            )
+        )
+    profiles.sort(key=lambda p: p.avg_tokens)
+    for position, profile in enumerate(profiles, start=1):
+        profile.rank = position
+    return profiles
+
+
+def sorted_distance_matrix(
+    matrix: np.ndarray,
+    clustering: ClusteringResult,
+    profiles: list[ClusterProfile],
+) -> np.ndarray:
+    """Reorder the distance matrix by cluster rank (the Figure 5 view)."""
+    order: list[int] = []
+    for profile in profiles:
+        order.extend(int(i) for i in clustering.members(profile.raw_index))
+    index = np.array(order)
+    return matrix[np.ix_(index, index)]

@@ -1,0 +1,63 @@
+"""Pairwise distance matrices over tokenized sessions."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.analysis.dld import normalized_dld
+from repro.analysis.tokenizer import normalize_tokens, tokenize_session
+from repro.honeypot.session import SessionRecord
+
+
+#: Cap on tokens per session fed to the O(len²) distance computation.
+#: Keeps pathological sessions (e.g. hundred-command proxy abuse) from
+#: dominating runtime while preserving their behavioural prefix.
+MAX_TOKENS_PER_SESSION = 120
+
+
+def session_tokens(
+    sessions: list[SessionRecord], max_tokens: int = MAX_TOKENS_PER_SESSION
+) -> list[list[str]]:
+    """Normalized (and length-capped) token sequences, one per session."""
+    return [
+        normalize_tokens(tokenize_session(s))[:max_tokens] for s in sessions
+    ]
+
+
+def distance_matrix(token_sequences: list[list[str]]) -> np.ndarray:
+    """Symmetric normalized-DLD matrix (zeros on the diagonal).
+
+    Identical token sequences are deduplicated internally so the O(n²)
+    DLD work only runs once per distinct behaviour — bot traffic is
+    heavily repetitive, which makes this the difference between seconds
+    and hours at realistic sample sizes.
+    """
+    n = len(token_sequences)
+    keys = [tuple(seq) for seq in token_sequences]
+    distinct: list[tuple[str, ...]] = []
+    index_of: dict[tuple[str, ...], int] = {}
+    for key in keys:
+        if key not in index_of:
+            index_of[key] = len(distinct)
+            distinct.append(key)
+    m = len(distinct)
+    compact = np.zeros((m, m), dtype=np.float64)
+    for i in range(m):
+        for j in range(i + 1, m):
+            value = normalized_dld(distinct[i], distinct[j])
+            compact[i, j] = value
+            compact[j, i] = value
+    mapping = np.array([index_of[key] for key in keys])
+    return compact[np.ix_(mapping, mapping)]
+
+
+def sample_sessions(
+    sessions: list[SessionRecord], limit: int, seed: int = 0
+) -> list[SessionRecord]:
+    """Deterministic uniform sample (the paper clusters a sample too)."""
+    if len(sessions) <= limit:
+        return list(sessions)
+    rng = random.Random(seed)
+    return rng.sample(sessions, limit)

@@ -1,0 +1,49 @@
+"""Damerau-Levenshtein distance over token sequences.
+
+Implements the restricted (optimal-string-alignment) Damerau-
+Levenshtein distance with each *token* treated as one symbol, as the
+paper specifies: "mkdir /tmp" vs "cd /tmp" has distance 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def damerau_levenshtein(a: Sequence[str], b: Sequence[str]) -> int:
+    """Token-level DLD (substitution, insertion, deletion, transposition)."""
+    len_a, len_b = len(a), len(b)
+    if len_a == 0:
+        return len_b
+    if len_b == 0:
+        return len_a
+    # two/three rolling rows of the DP matrix
+    previous2: list[int] = [0] * (len_b + 1)
+    previous = list(range(len_b + 1))
+    current = [0] * (len_b + 1)
+    for i in range(1, len_a + 1):
+        current[0] = i
+        for j in range(1, len_b + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost, # substitution
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                current[j] = min(current[j], previous2[j - 2] + cost)
+        previous2, previous, current = previous, current, previous2
+    return previous[len_b]
+
+
+def normalized_dld(a: Sequence[str], b: Sequence[str]) -> float:
+    """DLD divided by the longer sequence length (0 = identical)."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return damerau_levenshtein(a, b) / longest

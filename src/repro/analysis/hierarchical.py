@@ -1,0 +1,63 @@
+"""Baseline comparator: agglomerative clustering on the DLD matrix.
+
+The paper clusters with K-Means over the token-DLD distance matrix; the
+natural alternative for a precomputed distance matrix is hierarchical
+agglomerative clustering.  This module provides that baseline (scipy
+average-linkage) so the choice can be evaluated as an ablation
+(``ext_baseline_clustering``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage
+from scipy.spatial.distance import squareform
+
+from repro.analysis.kmedoids import ClusteringResult
+
+
+def hierarchical_cluster(
+    matrix: np.ndarray, k: int, method: str = "average"
+) -> ClusteringResult:
+    """Agglomerative clustering into ``k`` clusters.
+
+    Returns the same :class:`ClusteringResult` shape as K-medoids; the
+    "medoid" of each cluster is its minimum-total-distance member, and
+    the inertia is computed identically so the two methods compare
+    directly.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("distance matrix must be square")
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for n={n}")
+    if n == 1:
+        labels = np.zeros(1, dtype=int)
+    else:
+        condensed = squareform(matrix, checks=False)
+        tree = linkage(condensed, method=method)
+        labels = fcluster(tree, t=k, criterion="maxclust") - 1
+    medoids: list[int] = []
+    for cluster in sorted(set(labels.tolist())):
+        members = np.flatnonzero(labels == cluster)
+        sub = matrix[np.ix_(members, members)]
+        medoids.append(int(members[int(np.argmin(sub.sum(axis=1)))]))
+    label_map = {old: new for new, old in enumerate(sorted(set(labels.tolist())))}
+    remapped = np.array([label_map[value] for value in labels.tolist()])
+    distances = matrix[np.arange(n), np.array(medoids)[remapped]]
+    return ClusteringResult(
+        labels=remapped, medoids=medoids, inertia=float((distances**2).sum())
+    )
+
+
+def pair_agreement(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Rand index: fraction of point pairs both clusterings agree on."""
+    n = len(labels_a)
+    if n != len(labels_b):
+        raise ValueError("label arrays must align")
+    if n < 2:
+        return 1.0
+    same_a = labels_a[:, None] == labels_a[None, :]
+    same_b = labels_b[:, None] == labels_b[None, :]
+    upper = np.triu_indices(n, k=1)
+    return float((same_a[upper] == same_b[upper]).mean())

@@ -1,0 +1,103 @@
+"""Login-attempt analyses (paper section 8, Figures 10 and 11)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.honeypot.session import SessionRecord
+from repro.net.whois import HistoricalWhois
+from repro.util.timeutils import epoch_date, month_key
+
+#: The five passwords Figure 10 tracks.
+FIGURE10_PASSWORDS = (
+    "3245gs5662d34",
+    "1234",
+    "admin",
+    "dreambox",
+    "vertex25ektks123",
+)
+
+
+def successful_login_password(session: SessionRecord) -> str | None:
+    """Password of the accepted login attempt, if any."""
+    attempt = session.successful_login
+    return attempt.password if attempt else None
+
+
+def monthly_password_counts(
+    sessions: list[SessionRecord],
+) -> dict[str, Counter]:
+    """Per month: intrusion sessions per successful password."""
+    result: dict[str, Counter] = defaultdict(Counter)
+    for session in sessions:
+        password = successful_login_password(session)
+        if password is None:
+            continue
+        result[month_key(epoch_date(session.start))][password] += 1
+    return dict(result)
+
+
+def top_passwords(sessions: list[SessionRecord], n: int = 5) -> list[tuple[str, int]]:
+    """Overall top-n successful-login passwords."""
+    totals: Counter = Counter()
+    for session in sessions:
+        password = successful_login_password(session)
+        if password is not None:
+            totals[password] += 1
+    return totals.most_common(n)
+
+
+@dataclass
+class DefaultAccountStats:
+    """Figure 11 statistics for one Cowrie default username."""
+
+    username: str
+    sessions: int
+    successes: int
+    unique_ips: int
+    unique_ases: int
+    silent_fraction: float        # successes with no commands at all
+    monthly: dict[str, int]
+
+
+def default_account_stats(
+    sessions: list[SessionRecord],
+    username: str,
+    whois: HistoricalWhois,
+) -> DefaultAccountStats:
+    """Stats for sessions that tried the given default username."""
+    matched = [
+        s
+        for s in sessions
+        if any(attempt.username == username for attempt in s.logins)
+    ]
+    successes = [s for s in matched if s.login_succeeded]
+    silent = [s for s in successes if not s.executed_commands]
+    ips = {s.client_ip for s in matched}
+    asns = set()
+    for session in matched:
+        result = whois.lookup(session.client_ip, epoch_date(session.start))
+        if result is not None:
+            asns.add(result.asn)
+    monthly: Counter = Counter()
+    for session in matched:
+        monthly[month_key(epoch_date(session.start))] += 1
+    return DefaultAccountStats(
+        username=username,
+        sessions=len(matched),
+        successes=len(successes),
+        unique_ips=len(ips),
+        unique_ases=len(asns),
+        silent_fraction=(len(silent) / len(successes)) if successes else 0.0,
+        monthly=dict(monthly),
+    )
+
+
+def sessions_with_password(
+    sessions: list[SessionRecord], password: str
+) -> list[SessionRecord]:
+    """Sessions whose accepted login used the given password."""
+    return [
+        s for s in sessions if successful_login_password(s) == password
+    ]

@@ -1,0 +1,61 @@
+"""Attacker ecosystem: activity models, bots, malware, infrastructure."""
+
+from repro.attackers.activity import (
+    ActivityModel,
+    Campaign,
+    ConstantRate,
+    LinearTrend,
+    MonthlyRate,
+    RampUp,
+    SumRate,
+    Suppressed,
+    Wave,
+    total_rate,
+)
+from repro.attackers.base import Bot, BotContext
+from repro.attackers.fleetplan import build_fleet, find_bot
+from repro.attackers.infrastructure import (
+    ARCHETYPE_PLAN,
+    ArchetypePlan,
+    HostArchetype,
+    StorageHost,
+    StorageInfrastructure,
+)
+from repro.attackers.ippool import ClientIPPool, SharedPool
+from repro.attackers.malware import (
+    MIRAI_2024_STRAINS,
+    MalwareFactory,
+    MalwareFamily,
+    MalwareSample,
+)
+from repro.attackers.orchestrator import SimulationResult, run_simulation
+
+__all__ = [
+    "ActivityModel",
+    "Campaign",
+    "ConstantRate",
+    "LinearTrend",
+    "MonthlyRate",
+    "RampUp",
+    "SumRate",
+    "Suppressed",
+    "Wave",
+    "total_rate",
+    "Bot",
+    "BotContext",
+    "build_fleet",
+    "find_bot",
+    "ARCHETYPE_PLAN",
+    "ArchetypePlan",
+    "HostArchetype",
+    "StorageHost",
+    "StorageInfrastructure",
+    "ClientIPPool",
+    "SharedPool",
+    "MIRAI_2024_STRAINS",
+    "MalwareFactory",
+    "MalwareFamily",
+    "MalwareSample",
+    "SimulationResult",
+    "run_simulation",
+]

@@ -1,0 +1,169 @@
+"""Temporal activity models for bots.
+
+Every bot's session volume is a function of the calendar day, expressed
+at *paper scale* (sessions/day as the real honeynet would see).  The
+orchestrator multiplies by ``SimulationConfig.scale`` and draws a
+Poisson count.  Models compose, so a bot can be "a constant baseline
+plus two campaign waves, suppressed during event windows".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+
+from repro.util.timeutils import month_key
+
+
+class ActivityModel:
+    """Sessions/day (at paper scale) as a function of the date."""
+
+    def rate(self, day: date) -> float:
+        raise NotImplementedError
+
+    def __add__(self, other: "ActivityModel") -> "SumRate":
+        return SumRate([self, other])
+
+
+@dataclass
+class ConstantRate(ActivityModel):
+    """A flat daily rate between two dates (inclusive)."""
+
+    per_day: float
+    start: date | None = None
+    end: date | None = None
+
+    def rate(self, day: date) -> float:
+        if self.start is not None and day < self.start:
+            return 0.0
+        if self.end is not None and day > self.end:
+            return 0.0
+        return self.per_day
+
+
+@dataclass
+class MonthlyRate(ActivityModel):
+    """Explicit per-month daily rates (keys are ``YYYY-MM``)."""
+
+    per_month: dict[str, float]
+    default: float = 0.0
+
+    def rate(self, day: date) -> float:
+        return self.per_month.get(month_key(day), self.default)
+
+
+@dataclass
+class LinearTrend(ActivityModel):
+    """Linearly interpolated daily rate between window endpoints."""
+
+    start: date
+    end: date
+    start_rate: float
+    end_rate: float
+
+    def rate(self, day: date) -> float:
+        if day < self.start or day > self.end:
+            return 0.0
+        span = max(1, (self.end - self.start).days)
+        fraction = (day - self.start).days / span
+        return self.start_rate + fraction * (self.end_rate - self.start_rate)
+
+
+@dataclass
+class Wave(ActivityModel):
+    """A Gaussian campaign bump centred on a date."""
+
+    center: date
+    width_days: float
+    peak_per_day: float
+
+    def rate(self, day: date) -> float:
+        distance = (day - self.center).days
+        return self.peak_per_day * math.exp(
+            -0.5 * (distance / self.width_days) ** 2
+        )
+
+
+@dataclass
+class Campaign(ActivityModel):
+    """A flat-rate window with abrupt start and end (bot campaigns)."""
+
+    start: date
+    end: date
+    per_day: float
+    ramp_days: int = 0
+
+    def rate(self, day: date) -> float:
+        if day < self.start or day > self.end:
+            return 0.0
+        if self.ramp_days > 0:
+            into = (day - self.start).days
+            if into < self.ramp_days:
+                return self.per_day * (into + 1) / (self.ramp_days + 1)
+        return self.per_day
+
+
+@dataclass
+class SumRate(ActivityModel):
+    """Sum of component models."""
+
+    components: list[ActivityModel]
+
+    def rate(self, day: date) -> float:
+        return sum(component.rate(day) for component in self.components)
+
+
+@dataclass
+class Suppressed(ActivityModel):
+    """A base model suppressed to a floor during given windows.
+
+    Used for the mdrfckr actor, whose activity drops from ~100k to ~100
+    sessions/day during eight documented event windows (section 10).
+    """
+
+    base: ActivityModel
+    windows: list[tuple[date, date]]
+    floor_fraction: float = 0.001
+
+    def in_window(self, day: date) -> bool:
+        return any(start <= day <= end for start, end in self.windows)
+
+    def rate(self, day: date) -> float:
+        base_rate = self.base.rate(day)
+        if self.in_window(day):
+            return base_rate * self.floor_fraction
+        return base_rate
+
+
+@dataclass
+class RampUp(ActivityModel):
+    """Multiply a base model by a slow ramp after deployment.
+
+    The honeynet "needed time to become a known target" (section 9):
+    early weeks see a fraction of steady-state volume.
+    """
+
+    base: ActivityModel
+    deploy_date: date
+    ramp_days: int = 45
+
+    def rate(self, day: date) -> float:
+        base_rate = self.base.rate(day)
+        into = (day - self.deploy_date).days
+        if into < 0:
+            return 0.0
+        if into >= self.ramp_days:
+            return base_rate
+        return base_rate * (0.05 + 0.95 * into / self.ramp_days)
+
+
+def total_rate(model: ActivityModel, start: date, end: date) -> float:
+    """Integrate a model's rate over a window (for volume budgeting)."""
+    total = 0.0
+    cursor = start
+    one = timedelta(days=1)
+    while cursor <= end:
+        total += model.rate(cursor)
+        cursor += one
+    return total

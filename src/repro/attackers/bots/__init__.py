@@ -1,0 +1,1 @@
+"""Bot implementations, grouped by behaviour family."""

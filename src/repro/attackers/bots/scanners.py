@@ -1,0 +1,102 @@
+"""Background noise: scanners, scouting brute-forcers, silent intruders.
+
+These three produce the paper's section-3.3 category volumes that are
+not command sessions: 45M scanning, 258M scouting, and the bulk of the
+80M intrusion sessions (the rest of the intrusions come from the
+3245gs5662d34 campaign and the phil fingerprinters).
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+from repro.attackers.activity import ConstantRate
+from repro.attackers.base import Bot, BotContext
+from repro.attackers.dictionary import root_credential, scout_credential
+from repro.attackers.ippool import ClientIPPool
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+#: Window length the paper's daily averages assume (~33 months).
+_WINDOW_DAYS = 1006
+
+
+class ScannerBot(Bot):
+    """TCP-handshake-only sessions (the "Scanning" category)."""
+
+    telnet_fraction = 0.35
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "scanner", population, tree, paper_ips=400_000, scale=config.scale
+        )
+        super().__init__(
+            "scanner",
+            ConstantRate(45_000_000 / _WINDOW_DAYS, config.start, config.end),
+            pool,
+        )
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        return self.make_intent(
+            rng, credentials=(), duration_s=rng.uniform(0.1, 3.0)
+        )
+
+
+class ScoutBruteforceBot(Bot):
+    """Failed-login brute force (the dominant "Scouting" category)."""
+
+    telnet_fraction = 0.25
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "scout_bruteforce",
+            population,
+            tree,
+            paper_ips=350_000,
+            scale=config.scale,
+        )
+        super().__init__(
+            "scout_bruteforce",
+            ConstantRate(258_000_000 / _WINDOW_DAYS, config.start, config.end),
+            pool,
+        )
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        attempts = tuple(scout_credential(rng) for _ in range(rng.randint(1, 6)))
+        return self.make_intent(
+            rng, credentials=attempts, duration_s=rng.uniform(0.5, 8.0)
+        )
+
+
+class SilentIntruderBot(Bot):
+    """Successful root logins that execute nothing ("Intrusion")."""
+
+    def __init__(self, population: BasePopulation, tree: RngTree, config: SimulationConfig) -> None:
+        pool = ClientIPPool(
+            "silent_intruder",
+            population,
+            tree,
+            paper_ips=120_000,
+            scale=config.scale,
+        )
+        super().__init__(
+            "silent_intruder",
+            ConstantRate(55_000_000 / _WINDOW_DAYS, config.start, config.end),
+            pool,
+        )
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            duration_s=rng.uniform(0.5, 10.0),
+        )

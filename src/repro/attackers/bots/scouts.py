@@ -1,0 +1,224 @@
+"""Non-state-changing command bots — the "exploration" ecosystem.
+
+These bots log in and gather information without touching the
+filesystem (Figure 2): echo-based liveness probes (echo_OK and
+friends), uname/nproc fingerprinters, busybox self-checks, and the
+assorted scouting campaigns the paper's classification names.  Their
+aggregate volume carries Figure 1's 2023 shift toward exploratory
+sessions.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+from typing import Callable
+
+from repro.attackers.activity import (
+    ActivityModel,
+    Campaign,
+    ConstantRate,
+    LinearTrend,
+    Wave,
+)
+from repro.attackers.base import Bot, BotContext
+from repro.attackers.dictionary import root_credential
+from repro.attackers.ippool import ClientIPPool
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+LinesBuilder = Callable[[random.Random], tuple[str, ...]]
+
+
+class ScoutBot(Bot):
+    """A bot that logs in as root and runs info-gathering lines."""
+
+    def __init__(
+        self,
+        name: str,
+        activity: ActivityModel,
+        pool: ClientIPPool,
+        lines: LinesBuilder,
+    ) -> None:
+        super().__init__(name, activity, pool)
+        self._lines = lines
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        return self.make_intent(
+            rng,
+            credentials=(root_credential(rng),),
+            command_lines=self._lines(rng),
+        )
+
+
+def _uuid_like(rng: random.Random) -> str:
+    digits = "0123456789abcdef"
+
+    def chunk(length: int) -> str:
+        return "".join(rng.choice(digits) for _ in range(length))
+
+    return f"{chunk(8)}-{chunk(4)}-{chunk(4)}-{chunk(4)}-{chunk(12)}"
+
+
+def build_scout_bots(
+    population: BasePopulation, tree: RngTree, config: SimulationConfig
+) -> list[Bot]:
+    """The full roster of non-state-changing command bots."""
+
+    def pool(name: str, paper_ips: int) -> ClientIPPool:
+        return ClientIPPool(name, population, tree, paper_ips, config.scale)
+
+    start, end = config.start, config.end
+    shift = date(2023, 1, 1)  # Figure 1's behavioural break
+    bots: list[Bot] = []
+
+    # echo_OK: the dominant liveness probe, >80 % of non-state sessions,
+    # stepping up when the exploratory era begins in 2023.
+    bots.append(
+        ScoutBot(
+            "echo_OK",
+            ConstantRate(54_000, start, date(2022, 12, 31))
+            + ConstantRate(92_000, shift, end),
+            pool("echo_OK", 150_000),
+            lambda rng: (r'echo -e "\x6F\x6B"',),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "echo_ok_txt",
+            ConstantRate(1_000, start, end),
+            pool("echo_ok_txt", 8_000),
+            lambda rng: ("echo ok",),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "echo_ssh_check",
+            ConstantRate(400, start, end),
+            pool("echo_ssh_check", 3_000),
+            lambda rng: ('echo "SSH check"',),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "echo_os_check",
+            Campaign(date(2024, 2, 1), end, 1_500),
+            pool("echo_os_check", 4_000),
+            lambda rng: (f"echo {_uuid_like(rng)}",),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "uname_a",
+            Wave(date(2022, 3, 1), 30, 15_000) + Wave(date(2024, 3, 15), 40, 9_000),
+            pool("uname_a", 40_000),
+            lambda rng: ("uname -a",),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "uname_svnrm",
+            ConstantRate(3_500, start, end),
+            pool("uname_svnrm", 20_000),
+            lambda rng: ("uname -s -v -n -r -m",),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "uname_svnr",
+            ConstantRate(900, start, end),
+            pool("uname_svnr", 6_000),
+            lambda rng: ("uname -s -v -n -r",),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "uname_svnr_model",
+            Campaign(date(2023, 11, 1), date(2024, 4, 30), 2_500),
+            pool("uname_svnr_model", 7_000),
+            lambda rng: (
+                "uname -s -v -n -r",
+                "cat /proc/cpuinfo | grep 'model name' | head -n 1",
+            ),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "uname_a_nproc",
+            Campaign(date(2023, 2, 1), date(2023, 6, 30), 5_000),
+            pool("uname_a_nproc", 12_000),
+            lambda rng: ("uname -a", "nproc"),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "uname_snri_nproc",
+            LinearTrend(date(2023, 9, 1), end, 2_000, 8_000),
+            pool("uname_snri_nproc", 15_000),
+            lambda rng: ("uname -s -n -r -i", "nproc"),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "bbox_scout_cat",
+            Campaign(date(2022, 5, 15), date(2022, 9, 15), 12_000)
+            + Campaign(date(2023, 4, 1), date(2023, 8, 15), 9_000),
+            pool("bbox_scout_cat", 30_000),
+            lambda rng: (
+                "/bin/busybox cat /proc/self/exe || cat /proc/self/exe",
+            ),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "ak47_scout",
+            Campaign(date(2023, 10, 1), date(2024, 2, 15), 4_000),
+            pool("ak47_scout", 9_000),
+            lambda rng: (r'echo -e "\x41\x4b\x34\x37"', "echo writable"),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "shell_fp",
+            ConstantRate(1_300, start, end),
+            pool("shell_fp", 5_000),
+            lambda rng: ("echo $SHELL", "dd bs=22 count=1 if=/proc/self/exe"),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "binx86",
+            Wave(date(2022, 8, 1), 25, 3_000),
+            pool("binx86", 6_000),
+            lambda rng: ("lscpu | grep 'CPU(s):'", "echo bin.x86_64"),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "export_vei",
+            Wave(date(2023, 6, 15), 20, 2_500),
+            pool("export_vei", 5_000),
+            lambda rng: ("export VEI=1", "uname -a"),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "cloud_print",
+            ConstantRate(300, start, end),
+            pool("cloud_print", 2_000),
+            lambda rng: ('echo "cloud print test"',),
+        )
+    )
+    bots.append(
+        ScoutBot(
+            "juicessh",
+            ConstantRate(250, start, end),
+            pool("juicessh", 2_000),
+            lambda rng: ("echo juicessh", "uptime"),
+        )
+    )
+    return bots

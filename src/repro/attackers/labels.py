@@ -1,0 +1,103 @@
+"""Ground-truth mapping: bot name → expected Table-1 category.
+
+The simulator knows which actor produced every session (`bot_label`);
+the classifier never sees that.  This mapping states, for each bot,
+which category its sessions are *designed* to land in — the contract
+between the generative and forensic sides, used by the validation
+experiment and the test suite.
+
+Bots whose sessions carry no commands (scanners, scouting brute force,
+silent intruders, the 3245gs5662d34 campaign, the richard prober) have
+no category: classification only applies to command sessions.
+"""
+
+from __future__ import annotations
+
+#: bot name → expected category for its command sessions.
+EXPECTED_CATEGORY: dict[str, str] = {
+    "echo_OK": "echo_ok",
+    "echo_ok_txt": "echo_ok_txt",
+    "echo_ssh_check": "echo_ssh_check",
+    "echo_os_check": "echo_os_check",
+    "uname_a": "uname_a",
+    "uname_svnrm": "uname_svnrm",
+    "uname_svnr": "uname_svnr",
+    "uname_svnr_model": "uname_svnr_model",
+    "uname_a_nproc": "uname_a_nproc",
+    "uname_snri_nproc": "uname_snri_nproc",
+    "bbox_scout_cat": "bbox_scout_cat",
+    "ak47_scout": "ak47_scout",
+    "shell_fp": "shell_fp",
+    "binx86": "binx86",
+    "export_vei": "export_vei",
+    "cloud_print": "cloud_print",
+    "juicessh": "juicessh",
+    "mdrfckr": "mdrfckr",
+    "mdrfckr_variant": "mdrfckr",
+    "mdrfckr_base64": "mdrfckr",
+    "workminer": "gen_echo",
+    "gen_wget": "gen_wget",
+    "gen_curl_wget": "gen_curl_wget",
+    "gen_echo_wget": "gen_echo_wget",
+    "gen_ftp_wget": "gen_ftp_wget",
+    "gen_curl_echo_ftp_wget": "gen_curl_echo_ftp_wget",
+    "gen_curl_ftp_wget": "gen_curl_ftp_wget",
+    "gen_echo_ftp_wget": "gen_echo_ftp_wget",
+    "gen_curl_echo_wget": "gen_curl_echo_wget",
+    "gen_echo": "gen_echo",
+    "gen_curl": "gen_curl",
+    "gen_ftp": "gen_ftp",
+    "gen_curl_echo": "gen_curl_echo",
+    "gen_echo_ftp": "gen_echo_ftp",
+    "gen_curl_echo#noexec": "gen_curl_echo",
+    "gen_curl_wget#noexec": "gen_curl_wget",
+    "gen_curl#noexec": "gen_curl",
+    "gen_echo#noexec": "gen_echo",
+    "direct_exec": "unknown",
+    "root_17_char_pwd": "root_17_char_pwd",
+    "root_12_char_capscout": "root_12_char_capscout",
+    "root_12_char_echo321": "root_12_char_echo321",
+    "openssl_passwd": "openssl_passwd",
+    "clamav": "clamav",
+    "lenni_0451": "lenni_0451",
+    "stx_miner": "stx_miner",
+    "perl_dred_miner": "perl_dred_miner",
+    "fslur_attack": "fslur_attack",
+    "gslur_echo": "gslur_echo",
+    "ohshit_attack": "ohshit_attack",
+    "onions_attack": "onions_attack",
+    "sora_attack": "sora_attack",
+    "heisen_attack": "heisen_attack",
+    "zeus_attack": "zeus_attack",
+    "update_attack": "update_attack",
+    "wget_dget": "wget_dget",
+    "rm_obf_pattern_1": "rm_obf_pattern_1",
+    "rm_obf_pattern_7": "rm_obf_pattern_7",
+    "passwd123_daemon": "passwd123_daemon",
+    "rapperbot": "rapperbot",
+    "bbox_5_char_v2": "bbox_5_char_v2",
+    "bbox_unlabelled": "bbox_unlabelled",
+    "bbox_loaderwget": "bbox_loaderwget",
+    "bbox_echo_elf": "bbox_echo_elf",
+    "bbox_rand_exec": "bbox_rand_exec",
+    "bbox_rand_exec#noexec": "bbox_rand_exec",
+    "gafgyt_wave": "gen_ftp_wget",
+    "mirai_wave": "bbox_5_char_v2",
+    "mirai_coinminer": "gen_echo_wget",
+    "xorddos": "gen_echo",
+    "tvbox_dreambox": "gen_wget",
+    "tvbox_vertex25ektks123": "gen_wget",
+    "curl_maxred": "curl_maxred",
+    "phil_scanner": "unknown",
+}
+
+#: Bots that produce no command sessions (never classified).
+COMMANDLESS_BOTS: frozenset[str] = frozenset(
+    {
+        "scanner",
+        "scout_bruteforce",
+        "silent_intruder",
+        "login_3245gs5662d34",
+        "richard_scanner",
+    }
+)

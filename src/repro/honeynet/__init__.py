@@ -1,0 +1,13 @@
+"""Honeynet fleet: deployment, central collector, session database."""
+
+from repro.honeynet.collector import Collector, OutageWindow
+from repro.honeynet.database import SessionDatabase
+from repro.honeynet.deployment import Honeynet, deploy_honeynet
+
+__all__ = [
+    "Collector",
+    "OutageWindow",
+    "SessionDatabase",
+    "Honeynet",
+    "deploy_honeynet",
+]

@@ -1,0 +1,54 @@
+"""Central collector: every closed session is forwarded here.
+
+Models the honeynet's collection pipeline (paper section 3.2) including
+the one 48-hour maintenance outage (October 8-9, 2023) during which no
+sessions were recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.config import OUTAGE_END, OUTAGE_START
+from repro.honeypot.session import SessionRecord
+from repro.util.timeutils import epoch_date
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """An interval (inclusive dates) with no data collection."""
+
+    start: date
+    end: date
+
+    def covers(self, day: date) -> bool:
+        return self.start <= day <= self.end
+
+
+@dataclass
+class Collector:
+    """Accepts session records and applies collection-side effects."""
+
+    outages: tuple[OutageWindow, ...] = (
+        OutageWindow(OUTAGE_START, OUTAGE_END),
+    )
+    sessions: list[SessionRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def ingest(self, record: SessionRecord) -> bool:
+        """Store a record; returns False if it fell into an outage."""
+        day = epoch_date(record.start)
+        if any(outage.covers(day) for outage in self.outages):
+            self.dropped += 1
+            return False
+        self.sessions.append(record)
+        return True
+
+    def ingest_many(self, records: list[SessionRecord]) -> int:
+        """Ingest a batch; returns how many were stored."""
+        stored = 0
+        for record in records:
+            if self.ingest(record):
+                stored += 1
+        return stored

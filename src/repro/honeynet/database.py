@@ -1,0 +1,97 @@
+"""In-memory session database with the query surface the analyses need.
+
+The honeynet's real deployment stores sessions in a central database
+queried in situ; this class is that interface.  Indexes are built
+lazily and cached — the database is append-closed once constructed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from datetime import date
+
+from repro.honeypot.session import Protocol, SessionRecord
+from repro.util.timeutils import epoch_date, month_key
+
+
+class SessionDatabase:
+    """Query layer over a fixed collection of session records."""
+
+    def __init__(self, sessions: list[SessionRecord]) -> None:
+        self._sessions = sorted(sessions, key=lambda s: (s.start, s.session_id))
+        self._ssh: list[SessionRecord] | None = None
+        self._commands: list[SessionRecord] | None = None
+        self._by_month: dict[str, list[SessionRecord]] | None = None
+        self._by_day: dict[date, list[SessionRecord]] | None = None
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self):
+        return iter(self._sessions)
+
+    @property
+    def sessions(self) -> list[SessionRecord]:
+        """All sessions, ordered by start time."""
+        return self._sessions
+
+    def ssh_sessions(self) -> list[SessionRecord]:
+        """Only SSH sessions (the paper's analysis scope)."""
+        if self._ssh is None:
+            self._ssh = [
+                s for s in self._sessions if s.protocol == Protocol.SSH
+            ]
+        return self._ssh
+
+    def command_sessions(self) -> list[SessionRecord]:
+        """SSH sessions with a successful login and ≥1 command."""
+        if self._commands is None:
+            self._commands = [
+                s
+                for s in self.ssh_sessions()
+                if s.login_succeeded and s.executed_commands
+            ]
+        return self._commands
+
+    def by_month(self) -> dict[str, list[SessionRecord]]:
+        """SSH sessions grouped by ``YYYY-MM`` month key."""
+        if self._by_month is None:
+            grouped: dict[str, list[SessionRecord]] = defaultdict(list)
+            for session in self.ssh_sessions():
+                grouped[month_key(epoch_date(session.start))].append(session)
+            self._by_month = dict(grouped)
+        return self._by_month
+
+    def by_day(self) -> dict[date, list[SessionRecord]]:
+        """SSH sessions grouped by UTC calendar day."""
+        if self._by_day is None:
+            grouped: dict[date, list[SessionRecord]] = defaultdict(list)
+            for session in self.ssh_sessions():
+                grouped[epoch_date(session.start)].append(session)
+            self._by_day = dict(grouped)
+        return self._by_day
+
+    def unique_client_ips(self) -> set[str]:
+        """Distinct client IPs across SSH sessions."""
+        return {s.client_ip for s in self.ssh_sessions()}
+
+    def months(self) -> list[str]:
+        """Sorted month keys with at least one SSH session."""
+        return sorted(self.by_month())
+
+    def filter(self, predicate) -> list[SessionRecord]:
+        """Generic filtered view over SSH sessions."""
+        return [s for s in self.ssh_sessions() if predicate(s)]
+
+    def with_downloads(self) -> list[SessionRecord]:
+        """Sessions in which a file was actually loaded (hash recorded)."""
+        return [
+            s for s in self.command_sessions() if s.download_hashes()
+        ]
+
+    def unique_hashes(self) -> set[str]:
+        """All distinct file hashes ever recorded (downloads/writes)."""
+        hashes: set[str] = set()
+        for session in self.command_sessions():
+            hashes.update(session.download_hashes())
+        return hashes

@@ -1,0 +1,66 @@
+"""Fleet deployment: 221 identically configured honeypots.
+
+Paper section 3.1: the honeynet runs 221 Cowrie honeypots in 55
+countries and 65 ASes, focused on residential networks.  Placement is
+deterministic under the simulation seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationConfig
+from repro.honeypot.cowrie import CowrieHoneypot
+from repro.honeypot.shell.context import HostProfile
+from repro.net.ipv4 import int_to_ip
+from repro.net.population import BasePopulation
+from repro.util.rng import RngTree
+
+_HOSTNAMES = (
+    "svr04", "ns3", "db01", "app-srv", "media-box", "cam-gw", "router",
+    "nas-home", "iot-hub", "vps-web", "mail02", "edge-01",
+)
+
+
+@dataclass
+class Honeynet:
+    """The deployed fleet plus its placement metadata."""
+
+    honeypots: list[CowrieHoneypot]
+    countries: list[str]
+
+    def __len__(self) -> int:
+        return len(self.honeypots)
+
+    def by_id(self, honeypot_id: str) -> CowrieHoneypot:
+        for honeypot in self.honeypots:
+            if honeypot.honeypot_id == honeypot_id:
+                return honeypot
+        raise KeyError(honeypot_id)
+
+
+def deploy_honeynet(
+    config: SimulationConfig, population: BasePopulation, rng_tree: RngTree
+) -> Honeynet:
+    """Place ``config.n_honeypots`` sensors across countries and ASes."""
+    rng = rng_tree.child("deployment").rand()
+    from repro.net.geo import pick_countries
+
+    countries = pick_countries(rng, config.n_countries)
+    honeypots: list[CowrieHoneypot] = []
+    host_ases = population.honeypot_ases[: config.n_honeypot_ases]
+    for index in range(config.n_honeypots):
+        record = host_ases[index % len(host_ases)]
+        address = record.random_ip(rng)
+        profile = HostProfile(hostname=rng.choice(_HOSTNAMES) + f"-{index:03d}")
+        honeypots.append(
+            CowrieHoneypot(
+                honeypot_id=f"hp-{index:03d}",
+                ip=int_to_ip(address),
+                country=countries[index % len(countries)],
+                asn=record.asn,
+                profile=profile,
+                timeout_s=config.session_timeout_s,
+            )
+        )
+    return Honeynet(honeypots=honeypots, countries=countries)

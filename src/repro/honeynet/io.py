@@ -1,0 +1,131 @@
+"""Session-log persistence: JSONL export/import of session records.
+
+The analyses only consume :class:`SessionRecord`s, so a dataset written
+with :func:`write_jsonl` and read back with :func:`read_jsonl` is fully
+analyzable — and real Cowrie logs exported into the same schema can be
+fed straight into the pipeline.  The format is one JSON object per
+line with an explicit schema version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.honeypot.session import (
+    CommandRecord,
+    FileEvent,
+    FileOp,
+    LoginAttempt,
+    Protocol,
+    SessionRecord,
+)
+
+#: Format version written into every line.
+SCHEMA_VERSION = 1
+
+
+class SessionLogError(ValueError):
+    """Raised for malformed or incompatible session-log lines."""
+
+
+def session_to_dict(session: SessionRecord) -> dict:
+    """The JSON-serializable form of one session record."""
+    return {
+        "v": SCHEMA_VERSION,
+        "session_id": session.session_id,
+        "honeypot_id": session.honeypot_id,
+        "honeypot_ip": session.honeypot_ip,
+        "honeypot_port": session.honeypot_port,
+        "protocol": session.protocol.value,
+        "client_ip": session.client_ip,
+        "client_port": session.client_port,
+        "start": session.start,
+        "end": session.end,
+        "ssh_version": session.ssh_version,
+        "logins": [
+            [attempt.username, attempt.password, attempt.success]
+            for attempt in session.logins
+        ],
+        "commands": [
+            [record.raw, record.known, record.output]
+            for record in session.commands
+        ],
+        "uris": list(session.uris),
+        "file_events": [
+            [event.path, event.op.value, event.sha256, event.source]
+            for event in session.file_events
+        ],
+        "timed_out": session.timed_out,
+        "bot_label": session.bot_label,
+    }
+
+
+def session_from_dict(payload: dict) -> SessionRecord:
+    """Rebuild a session record from its JSON form."""
+    version = payload.get("v")
+    if version != SCHEMA_VERSION:
+        raise SessionLogError(f"unsupported session-log version: {version!r}")
+    try:
+        return SessionRecord(
+            session_id=payload["session_id"],
+            honeypot_id=payload["honeypot_id"],
+            honeypot_ip=payload["honeypot_ip"],
+            honeypot_port=payload["honeypot_port"],
+            protocol=Protocol(payload["protocol"]),
+            client_ip=payload["client_ip"],
+            client_port=payload["client_port"],
+            start=payload["start"],
+            end=payload["end"],
+            ssh_version=payload.get("ssh_version"),
+            logins=[
+                LoginAttempt(username, password, bool(success))
+                for username, password, success in payload.get("logins", [])
+            ],
+            commands=[
+                CommandRecord(raw=raw, known=bool(known), output=output)
+                for raw, known, output in payload.get("commands", [])
+            ],
+            uris=list(payload.get("uris", [])),
+            file_events=[
+                FileEvent(path, FileOp(op), sha256, source)
+                for path, op, sha256, source in payload.get("file_events", [])
+            ],
+            timed_out=bool(payload.get("timed_out", False)),
+            bot_label=payload.get("bot_label"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SessionLogError(f"malformed session-log record: {error}") from error
+
+
+def write_jsonl(sessions: Iterable[SessionRecord], path: Path | str) -> int:
+    """Write sessions to a JSONL file; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for session in sessions:
+            handle.write(json.dumps(session_to_dict(session)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_jsonl(path: Path | str) -> Iterator[SessionRecord]:
+    """Stream session records from a JSONL file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SessionLogError(
+                    f"line {line_number}: invalid JSON"
+                ) from error
+            yield session_from_dict(payload)
+
+
+def read_jsonl(path: Path | str) -> list[SessionRecord]:
+    """Load all session records from a JSONL file."""
+    return list(iter_jsonl(path))

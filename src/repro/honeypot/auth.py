@@ -1,0 +1,40 @@
+"""Authentication policy of the honeynet's Cowrie deployment.
+
+Paper section 3.2: password authentication as ``root`` with *any*
+password except the literal string ``"root"`` is accepted; public keys
+are not supported; Telnet uses the same rule.  Additionally (section 8),
+the deployed Cowrie version ships the well-known default account
+``phil`` (which superseded ``richard`` in 2020), which attackers abuse
+to fingerprint Cowrie — so ``phil`` logins succeed while ``richard``
+logins fail on this version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CredentialPolicy:
+    """Decides which (username, password) pairs are accepted."""
+
+    root_rejected_passwords: frozenset[str] = frozenset({"root"})
+    default_accounts: frozenset[str] = frozenset({"phil"})
+    legacy_accounts: frozenset[str] = frozenset({"richard"})
+
+    def accepts(self, username: str, password: str) -> bool:
+        """Return whether a login with these credentials succeeds."""
+        if username == "root":
+            return password not in self.root_rejected_passwords
+        if username in self.default_accounts:
+            return True
+        return False
+
+    def is_fingerprint_username(self, username: str) -> bool:
+        """Whether the username is a Cowrie default used for honeypot
+        fingerprinting (current or legacy)."""
+        return username in self.default_accounts or username in self.legacy_accounts
+
+
+#: The policy every honeypot in the fleet runs.
+DEFAULT_POLICY = CredentialPolicy()

@@ -1,0 +1,110 @@
+"""The medium-interaction honeypot itself.
+
+One :class:`CowrieHoneypot` models one deployed sensor: it accepts a
+:class:`~repro.honeypot.session.ConnectionIntent` (what a client sends)
+and produces the :class:`~repro.honeypot.session.SessionRecord` the
+collector stores.  Sessions are stateless — every connection gets a
+fresh emulated filesystem, exactly like the deployed Cowrie (and exactly
+the limitation the paper's "random file consistency check" attackers
+probe for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.honeypot.auth import DEFAULT_POLICY, CredentialPolicy
+from repro.honeypot.session import (
+    ConnectionIntent,
+    LoginAttempt,
+    Protocol,
+    SessionRecord,
+)
+from repro.honeypot.shell.context import HostProfile, ShellContext
+from repro.honeypot.shell.engine import ShellEngine
+from repro.util.hashing import short_hash
+
+#: Hard cap on shell input lines per session (the real honeypot is
+#: bounded by its 3-minute timeout; curl-proxy abuse sessions send ~100).
+MAX_LINES_PER_SESSION = 300
+
+
+@dataclass
+class CowrieHoneypot:
+    """One sensor in the honeynet."""
+
+    honeypot_id: str
+    ip: str
+    country: str = "ZZ"
+    asn: int = 0
+    ssh_port: int = 22
+    telnet_port: int = 23
+    policy: CredentialPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+    profile: HostProfile = field(default_factory=HostProfile)
+    timeout_s: float = 180.0
+    _counter: int = field(default=0, repr=False)
+
+    def _make_context(
+        self, intent: ConnectionIntent, user: str, session_id: str
+    ) -> ShellContext:
+        """Fresh per-session shell state (Cowrie is stateless)."""
+        return ShellContext(
+            user=user,
+            profile=self.profile,
+            remote_files=intent.remote_file_map(),
+            entropy=session_id,
+        )
+
+    def handle(self, intent: ConnectionIntent, when: float) -> SessionRecord:
+        """Process one client connection and return its session record."""
+        self._counter += 1
+        session_id = short_hash(
+            f"{self.honeypot_id}:{intent.client_ip}:{when}:{self._counter}", 16
+        )
+        logins: list[LoginAttempt] = []
+        logged_in_user: str | None = None
+        for username, password in intent.credentials:
+            accepted = self.policy.accepts(username, password)
+            logins.append(LoginAttempt(username, password, accepted))
+            if accepted:
+                logged_in_user = username
+                break
+
+        commands = []
+        uris: list[str] = []
+        file_events = []
+        if logged_in_user is not None and intent.command_lines:
+            context = self._make_context(intent, logged_in_user, session_id)
+            engine = ShellEngine(context)
+            for line in intent.command_lines[:MAX_LINES_PER_SESSION]:
+                commands.append(engine.run_line(line))
+                if context.exited:
+                    break
+            uris = context.uris
+            file_events = context.file_events
+
+        timed_out = intent.hold_open or intent.duration_s >= self.timeout_s
+        duration = self.timeout_s if timed_out else intent.duration_s
+        port = (
+            self.ssh_port if intent.protocol == Protocol.SSH else self.telnet_port
+        )
+        return SessionRecord(
+            session_id=session_id,
+            honeypot_id=self.honeypot_id,
+            honeypot_ip=self.ip,
+            honeypot_port=port,
+            protocol=intent.protocol,
+            client_ip=intent.client_ip,
+            client_port=intent.client_port,
+            start=when,
+            end=when + duration,
+            ssh_version=(
+                intent.ssh_version if intent.protocol == Protocol.SSH else None
+            ),
+            logins=logins,
+            commands=commands,
+            uris=uris,
+            file_events=file_events,
+            timed_out=timed_out,
+            bot_label=intent.bot_label,
+        )

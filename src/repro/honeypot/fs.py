@@ -1,0 +1,149 @@
+"""The fake filesystem behind the emulated shell.
+
+Cowrie presents a plausible Unix filesystem but persists nothing across
+sessions; each session gets a fresh copy (the paper notes attackers
+exploit exactly this statelessness, e.g. by writing a file and checking
+for it in a later session).  Files carry content so the honeypot can
+hash whatever the intruder writes or downloads.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+
+from repro.util.hashing import sha256_hex
+
+
+@dataclass
+class FileNode:
+    """One regular file."""
+
+    content: bytes = b""
+    executable: bool = False
+
+    @property
+    def sha256(self) -> str:
+        return sha256_hex(self.content)
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+
+#: Files every fresh session sees (a representative Cowrie skeleton).
+BASELINE_FILES: dict[str, bytes] = {
+    "/etc/passwd": b"root:x:0:0:root:/root:/bin/bash\nphil:x:1000:1000::/home/phil:/bin/bash\n",
+    "/etc/shadow": b"root:$6$deadbeef$:18000:0:99999:7:::\n",
+    "/etc/hosts": b"127.0.0.1 localhost\n",
+    "/etc/hosts.deny": b"",
+    "/etc/issue": b"Debian GNU/Linux 10 \\n \\l\n",
+    "/proc/cpuinfo": (
+        b"processor\t: 0\nmodel name\t: Intel(R) Xeon(R) CPU E5-2650 v4 @ 2.20GHz\n"
+        b"processor\t: 1\nmodel name\t: Intel(R) Xeon(R) CPU E5-2650 v4 @ 2.20GHz\n"
+    ),
+    "/proc/meminfo": b"MemTotal:        2048000 kB\nMemFree:          812000 kB\n",
+    "/proc/self/exe": b"\x7fELF\x02\x01\x01busybox-emulated",
+    "/bin/busybox": b"\x7fELF\x02\x01\x01busybox-emulated",
+    "/var/spool/cron/root": b"",
+    "/root/.ssh/authorized_keys": b"",
+}
+
+#: Directories that exist in the skeleton.
+BASELINE_DIRS = (
+    "/", "/bin", "/sbin", "/etc", "/usr", "/usr/bin", "/var", "/var/run",
+    "/var/spool", "/var/spool/cron", "/var/tmp", "/tmp", "/mnt", "/proc",
+    "/proc/self", "/root", "/root/.ssh", "/home", "/home/phil", "/dev",
+)
+
+
+class FakeFilesystem:
+    """An in-memory Unix-ish filesystem with the Cowrie skeleton."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, FileNode] = {
+            path: FileNode(content=content, executable=path.startswith("/bin"))
+            for path, content in BASELINE_FILES.items()
+        }
+        self._dirs: set[str] = set(BASELINE_DIRS)
+
+    @staticmethod
+    def normalize(path: str, cwd: str = "/") -> str:
+        """Resolve a possibly relative path against ``cwd``."""
+        if path.startswith("~"):
+            path = "/root" + path[1:]
+        if not path.startswith("/"):
+            path = posixpath.join(cwd, path)
+        normalized = posixpath.normpath(path)
+        return normalized if normalized.startswith("/") else "/" + normalized
+
+    def exists(self, path: str) -> bool:
+        return path in self._files or path in self._dirs
+
+    def is_file(self, path: str) -> bool:
+        return path in self._files
+
+    def is_dir(self, path: str) -> bool:
+        return path in self._dirs
+
+    def read(self, path: str) -> bytes | None:
+        node = self._files.get(path)
+        return None if node is None else node.content
+
+    def get(self, path: str) -> FileNode | None:
+        return self._files.get(path)
+
+    def write(self, path: str, content: bytes, append: bool = False) -> tuple[FileNode, bool]:
+        """Write a file; returns ``(node, created)``."""
+        parent = posixpath.dirname(path) or "/"
+        self.mkdirs(parent)
+        existing = self._files.get(path)
+        if existing is None:
+            node = FileNode(content=content)
+            self._files[path] = node
+            return node, True
+        if append:
+            existing.content += content
+        else:
+            existing.content = content
+        return existing, False
+
+    def delete(self, path: str) -> bool:
+        """Remove a file; returns whether it existed."""
+        return self._files.pop(path, None) is not None
+
+    def delete_tree(self, path: str) -> list[str]:
+        """Remove a directory tree (``rm -rf``); returns deleted files."""
+        prefix = path.rstrip("/") + "/"
+        doomed = [p for p in self._files if p == path or p.startswith(prefix)]
+        for victim in doomed:
+            del self._files[victim]
+        self._dirs = {
+            d for d in self._dirs if not (d != "/" and (d == path or d.startswith(prefix)))
+        }
+        return doomed
+
+    def mkdirs(self, path: str) -> None:
+        """Create a directory and its ancestors."""
+        cursor = path
+        while cursor and cursor != "/":
+            self._dirs.add(cursor)
+            cursor = posixpath.dirname(cursor)
+        self._dirs.add("/")
+
+    def chmod_exec(self, path: str) -> bool:
+        node = self._files.get(path)
+        if node is None:
+            return False
+        node.executable = True
+        return True
+
+    def listdir(self, path: str) -> list[str]:
+        """Entries directly under a directory."""
+        prefix = path.rstrip("/") + "/" if path != "/" else "/"
+        names: set[str] = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                remainder = candidate[len(prefix):]
+                names.add(remainder.split("/", 1)[0])
+        return sorted(names)

@@ -1,0 +1,164 @@
+"""Session record schema — the unit of data everything else consumes.
+
+Mirrors what the paper's honeynet records per session (section 3.2):
+basic connection info, the SSH client version, every login attempt with
+its outcome, every executed command (flagged known/unknown), every URI
+seen in a command, and a SHA-256 hash for every file created or
+modified.  ``bot_label`` is simulation ground truth used only by
+validation tests — the analysis pipeline never reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Protocol(str, Enum):
+    """The two services the honeypot exposes."""
+
+    SSH = "ssh"
+    TELNET = "telnet"
+
+
+class FileOp(str, Enum):
+    """File-level events observed by the honeypot shell."""
+
+    CREATE = "create"
+    MODIFY = "modify"
+    DELETE = "delete"
+    EXECUTE = "execute"
+    EXECUTE_MISSING = "execute_missing"
+
+
+@dataclass(frozen=True)
+class LoginAttempt:
+    """One credential pair offered by the client."""
+
+    username: str
+    password: str
+    success: bool
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """One input line typed into the emulated shell."""
+
+    raw: str
+    known: bool
+    output: str = ""
+
+
+@dataclass(frozen=True)
+class FileEvent:
+    """One file created / modified / deleted / executed in a session.
+
+    ``source`` distinguishes artifacts captured by the transfer
+    emulation (wget/curl/tftp/ftpget — the honeypot's download capture
+    path) from files written through ordinary shell commands.
+    """
+
+    path: str
+    op: FileOp
+    sha256: str | None = None
+    source: str = "shell"
+
+
+@dataclass(frozen=True)
+class ConnectionIntent:
+    """What a client intends to do once connected.
+
+    This is the neutral interface between the attacker simulation and the
+    honeypot: the honeypot sees only what a real client would send —
+    credentials in order, then shell input lines.  ``remote_files`` maps
+    URL → payload bytes for content the honeypot could fetch at the time
+    of the session (an empty mapping means every fetch fails, e.g. a
+    download server that refuses the honeypot).
+    """
+
+    client_ip: str
+    client_port: int = 44022
+    protocol: Protocol = Protocol.SSH
+    ssh_version: str | None = "SSH-2.0-libssh2_1.8.2"
+    credentials: tuple[tuple[str, str], ...] = ()
+    command_lines: tuple[str, ...] = ()
+    remote_files: tuple[tuple[str, bytes], ...] = ()
+    duration_s: float = 5.0
+    hold_open: bool = False
+    bot_label: str | None = None
+
+    def remote_file_map(self) -> dict[str, bytes]:
+        return dict(self.remote_files)
+
+
+@dataclass
+class SessionRecord:
+    """Everything the honeynet stores about one TCP session."""
+
+    session_id: str
+    honeypot_id: str
+    honeypot_ip: str
+    honeypot_port: int
+    protocol: Protocol
+    client_ip: str
+    client_port: int
+    start: float
+    end: float
+    ssh_version: str | None = None
+    logins: list[LoginAttempt] = field(default_factory=list)
+    commands: list[CommandRecord] = field(default_factory=list)
+    uris: list[str] = field(default_factory=list)
+    file_events: list[FileEvent] = field(default_factory=list)
+    timed_out: bool = False
+    bot_label: str | None = None
+
+    @property
+    def login_succeeded(self) -> bool:
+        """Whether any login attempt was accepted."""
+        return any(attempt.success for attempt in self.logins)
+
+    @property
+    def successful_login(self) -> LoginAttempt | None:
+        """The accepted login attempt, if any."""
+        for attempt in self.logins:
+            if attempt.success:
+                return attempt
+        return None
+
+    @property
+    def executed_commands(self) -> bool:
+        """Whether the client executed at least one command."""
+        return bool(self.commands)
+
+    @property
+    def command_text(self) -> str:
+        """All input lines joined, as one analysable string."""
+        return " ; ".join(record.raw for record in self.commands)
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def hashes(self) -> list[str]:
+        """All non-null file hashes recorded in this session."""
+        return [
+            event.sha256 for event in self.file_events if event.sha256
+        ]
+
+    def download_hashes(self) -> list[str]:
+        """Hashes of files *created or modified* (i.e. loaded) here."""
+        return [
+            event.sha256
+            for event in self.file_events
+            if event.sha256 and event.op in (FileOp.CREATE, FileOp.MODIFY)
+        ]
+
+    def transfer_hashes(self) -> list[str]:
+        """Hashes of files captured by the download emulation only."""
+        return [
+            event.sha256
+            for event in self.file_events
+            if event.sha256
+            and event.source == "transfer"
+            and event.op in (FileOp.CREATE, FileOp.MODIFY)
+        ]

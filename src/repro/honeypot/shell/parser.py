@@ -1,0 +1,208 @@
+"""Shell-input parser for the emulated honeypot shell.
+
+Parses one input line into statements (split on ``;`` / ``&&`` / ``||``),
+each a pipeline of simple commands (split on ``|``), each with argv and
+output redirections.  Quoting (single, double, backslash) is honoured;
+anything the parser cannot make sense of is surfaced as a
+:class:`ParseError` so the engine can record the line as unknown input,
+exactly as Cowrie records lines it cannot interpret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ParseError(ValueError):
+    """Raised when an input line is not parseable shell syntax."""
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """An output redirection (``>`` or ``>>``) to a target path."""
+
+    op: str
+    target: str
+
+
+@dataclass
+class SimpleCommand:
+    """One command invocation: argv plus redirections."""
+
+    argv: list[str]
+    redirects: list[Redirect] = field(default_factory=list)
+    assignments: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.argv[0] if self.argv else ""
+
+
+@dataclass
+class Pipeline:
+    """Commands connected by ``|``; stdout feeds the next stage."""
+
+    stages: list[SimpleCommand]
+
+
+@dataclass
+class Statement:
+    """A pipeline plus the connector linking it to the previous one."""
+
+    pipeline: Pipeline
+    connector: str = ";"
+
+
+_OPERATORS = ("&&", "||", ";", "|", "\n")
+
+
+def _tokenize(line: str) -> list[str]:
+    """Split a line into words and operator tokens, honouring quotes.
+
+    Quotes are stripped from word tokens (their only role here is
+    grouping); operator characters inside quotes are literal.
+    """
+    tokens: list[str] = []
+    current: list[str] = []
+    has_current = False
+    index = 0
+    length = len(line)
+    while index < length:
+        char = line[index]
+        if char == "\\" and index + 1 < length:
+            current.append(line[index + 1])
+            has_current = True
+            index += 2
+            continue
+        if char in ("'", '"'):
+            quote = char
+            index += 1
+            start = index
+            while index < length and line[index] != quote:
+                if quote == '"' and line[index] == "\\" and index + 1 < length:
+                    index += 2
+                    continue
+                index += 1
+            if index >= length:
+                raise ParseError(f"unterminated quote in {line!r}")
+            current.append(line[start:index].replace('\\"', '"'))
+            has_current = True
+            index += 1
+            continue
+        if char in " \t":
+            if has_current:
+                tokens.append("".join(current))
+                current, has_current = [], False
+            index += 1
+            continue
+        two = line[index : index + 2]
+        if two == "2>" and not has_current:
+            # stderr redirect introducer, e.g. "cmd 2>/dev/null"
+            tokens.append("2>")
+            index += 2
+            continue
+        if two in ("&&", "||", ">>"):
+            if has_current:
+                tokens.append("".join(current))
+                current, has_current = [], False
+            tokens.append(two)
+            index += 2
+            continue
+        if char in ";|><&\n":
+            if has_current:
+                tokens.append("".join(current))
+                current, has_current = [], False
+            tokens.append(char)
+            index += 1
+            continue
+        current.append(char)
+        has_current = True
+        index += 1
+    if has_current:
+        tokens.append("".join(current))
+    return tokens
+
+
+_ASSIGNMENT_CHARS = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_"
+)
+
+
+def _is_assignment(token: str) -> bool:
+    name, equals, _ = token.partition("=")
+    return bool(equals) and bool(name) and all(c in _ASSIGNMENT_CHARS for c in name) and not name[0].isdigit()
+
+
+def parse_line(line: str) -> list[Statement]:
+    """Parse one input line into an ordered list of statements."""
+    tokens = _tokenize(line)
+    statements: list[Statement] = []
+    connector = ";"
+    stages: list[SimpleCommand] = []
+    command = SimpleCommand(argv=[])
+    argv_started = False
+
+    def flush_command() -> None:
+        nonlocal command, argv_started
+        if command.argv or command.assignments or command.redirects:
+            stages.append(command)
+        command = SimpleCommand(argv=[])
+        argv_started = False
+
+    def flush_statement(next_connector: str) -> None:
+        nonlocal stages, connector
+        flush_command()
+        if stages:
+            statements.append(
+                Statement(pipeline=Pipeline(stages=stages), connector=connector)
+            )
+        stages = []
+        connector = next_connector
+
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token in ("&&", "||", ";", "\n"):
+            flush_statement(token if token in ("&&", "||") else ";")
+            index += 1
+            continue
+        if token == "&":
+            # background marker: end of statement, run "in background"
+            flush_statement(";")
+            index += 1
+            continue
+        if token == "|":
+            flush_command()
+            index += 1
+            continue
+        if token in (">", ">>"):
+            if index + 1 >= len(tokens) or tokens[index + 1] in _OPERATORS:
+                raise ParseError(f"redirect without target in {line!r}")
+            command.redirects.append(Redirect(op=token, target=tokens[index + 1]))
+            index += 2
+            continue
+        if token == "<":
+            # input redirection: consume the target, treat as extra arg
+            if index + 1 < len(tokens) and tokens[index + 1] not in _OPERATORS:
+                command.argv.append(tokens[index + 1])
+                index += 2
+                continue
+            index += 1
+            continue
+        if token == "2>":
+            # stderr redirect: discard the target if present
+            if index + 1 < len(tokens) and tokens[index + 1] not in _OPERATORS:
+                index += 2
+            else:
+                index += 1
+            continue
+        if not argv_started and _is_assignment(token):
+            name, _, value = token.partition("=")
+            command.assignments.append((name, value))
+            index += 1
+            continue
+        command.argv.append(token)
+        argv_started = True
+        index += 1
+    flush_statement(";")
+    return statements

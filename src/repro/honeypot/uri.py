@@ -1,0 +1,16 @@
+"""URI extraction — "if a command includes a URI ... it is recorded"."""
+
+from __future__ import annotations
+
+import re
+
+#: Schemes the honeynet records (paper section 3.2 lists (S)FTP, HTTP(S),
+#: and anything else retrieved from a remote target).
+_URI_PATTERN = re.compile(
+    r"\b(?:https?|ftp|tftp|sftp)://[^\s;|&'\"<>]+", re.IGNORECASE
+)
+
+
+def extract_uris(text: str) -> list[str]:
+    """Return every URI literally present in ``text`` (in order)."""
+    return [match.group(0).rstrip(".,)") for match in _URI_PATTERN.finditer(text)]

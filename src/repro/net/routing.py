@@ -1,0 +1,37 @@
+"""Prefix deaggregation helpers (Figure 8(b) size analysis).
+
+The paper deaggregates every announcement into /24s so AS sizes are
+comparable regardless of how aggregated their announcements are.
+"""
+
+from __future__ import annotations
+
+from repro.net.asn import ASRecord
+from repro.net.ipv4 import Prefix
+
+
+def deaggregate(prefixes: list[Prefix]) -> list[Prefix]:
+    """Split arbitrary prefixes into the equivalent list of /24s."""
+    result: list[Prefix] = []
+    for prefix in prefixes:
+        if prefix.length > 24:
+            raise ValueError(
+                f"cannot deaggregate {prefix} (longer than /24)"
+            )
+        result.extend(Prefix(base, 24) for base in prefix.slash24_bases())
+    return result
+
+
+def count_slash24(prefixes: list[Prefix]) -> int:
+    """Number of /24s covered by ``prefixes`` (no materialization)."""
+    return sum(prefix.num_slash24 for prefix in prefixes)
+
+
+def size_bucket(record: ASRecord) -> str:
+    """Figure 8(b)'s three size buckets for an AS."""
+    n = record.num_slash24
+    if n == 1:
+        return "one /24"
+    if n < 50:
+        return "less than 50 /24"
+    return "more than 50 /24"

@@ -1,0 +1,66 @@
+"""Historical (ip, timestamp) → AS attribution.
+
+Stands in for the back-to-the-future WHOIS service the paper uses
+(Streibelt et al.): attribution is evaluated *as of the session date*,
+so an AS registered after a session does not attribute that session,
+and a withdrawn ("down") AS stops attributing once withdrawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.net.asn import ASRecord, ASRegistry, ASType
+from repro.net.ipv4 import ip_to_int
+
+
+@dataclass(frozen=True)
+class WhoisResult:
+    """One historical attribution answer."""
+
+    asn: int
+    name: str
+    as_type: ASType
+    registered: date
+    age_years: float
+    num_slash24: int
+    announcing: bool
+
+
+class HistoricalWhois:
+    """Answers "which AS announced this IP on this date?" queries."""
+
+    def __init__(self, registry: ASRegistry) -> None:
+        self._registry = registry
+
+    def lookup(self, address: str | int, on: date) -> WhoisResult | None:
+        """Attribute ``address`` as of date ``on``.
+
+        Returns ``None`` for unrouted space or for ASes registered after
+        ``on`` (the space did not exist yet from WHOIS's perspective).
+        """
+        value = ip_to_int(address) if isinstance(address, str) else address
+        record = self._registry.lookup(value)
+        if record is None or on < record.registered:
+            return None
+        return self._result(record, on)
+
+    def lookup_record(self, address: str | int, on: date) -> ASRecord | None:
+        """Like :meth:`lookup` but returning the raw registry record."""
+        value = ip_to_int(address) if isinstance(address, str) else address
+        record = self._registry.lookup(value)
+        if record is None or on < record.registered:
+            return None
+        return record
+
+    def _result(self, record: ASRecord, on: date) -> WhoisResult:
+        return WhoisResult(
+            asn=record.asn,
+            name=record.name,
+            as_type=record.as_type,
+            registered=record.registered,
+            age_years=record.age_years(on),
+            num_slash24=record.num_slash24,
+            announcing=record.is_announcing(on),
+        )

@@ -1,0 +1,29 @@
+"""CLI: regenerate EXPERIMENTS.md from a full experiment run.
+
+Usage:  python -m repro.reporting.generate [--scale 1e-4] [--out EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.config import BENCH_CONFIG, SimulationConfig
+from repro.experiments.runner import run_all
+from repro.reporting.markdown import experiments_markdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=BENCH_CONFIG.scale)
+    parser.add_argument("--seed", type=int, default=BENCH_CONFIG.seed)
+    parser.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
+    args = parser.parse_args()
+    config = SimulationConfig(scale=args.scale, seed=args.seed)
+    results = run_all(config=config)
+    args.out.write_text(experiments_markdown(results, config))
+    print(f"wrote {args.out} ({len(results)} experiments)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,246 @@
+"""Dependency-free SVG renderings of the regenerated figures.
+
+matplotlib is not available offline, but SVG is just XML: these
+renderers turn an experiment's structured rows into standalone figure
+files (`repro.cli export --format svg`).  Layout is deliberately
+simple — monthly bar charts and the cluster-distance heatmap cover the
+paper's figure shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+from repro.experiments.base import ExperimentResult
+from repro.reporting.figures import _DEFAULT_VIEWS, _as_number, numeric_columns
+
+#: Canvas geometry.
+WIDTH = 900
+HEIGHT = 420
+MARGIN_LEFT = 70
+MARGIN_BOTTOM = 70
+MARGIN_TOP = 50
+MARGIN_RIGHT = 20
+
+#: Series colours (colour-blind-safe-ish).
+BAR_COLOR = "#3b6fb6"
+ACCENT_COLOR = "#b6503b"
+TEXT_COLOR = "#222222"
+GRID_COLOR = "#dddddd"
+
+
+def _svg_document(body: list[str], width: int = WIDTH, height: int = HEIGHT) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+        f'<rect width="{width}" height="{height}" fill="white"/>\n'
+        + "\n".join(body)
+        + "\n</svg>\n"
+    )
+
+
+def _text(
+    x: float, y: float, content: str, size: int = 12, anchor: str = "start",
+    rotate: float | None = None,
+) -> str:
+    transform = (
+        f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+    )
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+        f'font-family="sans-serif" fill="{TEXT_COLOR}" '
+        f'text-anchor="{anchor}"{transform}>{escape(content)}</text>'
+    )
+
+
+def _nice_ticks(maximum: float, count: int = 5) -> list[float]:
+    if maximum <= 0:
+        return [0.0]
+    raw_step = maximum / count
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiplier in (1, 2, 5, 10):
+        step = multiplier * magnitude
+        if step >= raw_step:
+            break
+    ticks = []
+    value = 0.0
+    while value <= maximum + step / 2:
+        ticks.append(value)
+        value += step
+    return ticks
+
+
+def svg_bar_chart(
+    result: ExperimentResult,
+    label_column: int = 0,
+    value_column: int | None = None,
+    title: str | None = None,
+) -> str:
+    """A vertical bar chart of one numeric column against row labels."""
+    numeric = numeric_columns(result)
+    if value_column is None:
+        if not numeric:
+            raise ValueError(f"{result.experiment_id}: no numeric columns")
+        header, _ = _DEFAULT_VIEWS.get(result.experiment_id, (None, False))
+        if header in result.headers and result.headers.index(header) in numeric:
+            value_column = result.headers.index(header)
+        else:
+            value_column = numeric[0]
+    labels = [str(row[label_column]) for row in result.rows]
+    values = [_as_number(row[value_column]) for row in result.rows]
+    maximum = max(values, default=0.0) or 1.0
+
+    plot_width = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_height = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    slot = plot_width / max(1, len(values))
+    bar_width = max(1.0, slot * 0.8)
+
+    body: list[str] = []
+    chart_title = title or f"{result.experiment_id}: {result.title}"
+    body.append(_text(MARGIN_LEFT, 24, chart_title, size=15))
+    body.append(
+        _text(MARGIN_LEFT, 40, f"y = {result.headers[value_column]}", size=11)
+    )
+    for tick in _nice_ticks(maximum):
+        y = MARGIN_TOP + plot_height * (1 - tick / maximum)
+        body.append(
+            f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{WIDTH - MARGIN_RIGHT}" y2="{y:.1f}" '
+            f'stroke="{GRID_COLOR}" stroke-width="1"/>'
+        )
+        body.append(_text(MARGIN_LEFT - 6, y + 4, f"{tick:g}", 10, "end"))
+    for index, (label, value) in enumerate(zip(labels, values)):
+        x = MARGIN_LEFT + index * slot + (slot - bar_width) / 2
+        bar_height = plot_height * (value / maximum)
+        y = MARGIN_TOP + plot_height - bar_height
+        body.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+            f'height="{bar_height:.1f}" fill="{BAR_COLOR}">'
+            f"<title>{escape(label)}: {value:g}</title></rect>"
+        )
+        if len(labels) <= 40:
+            body.append(
+                _text(
+                    x + bar_width / 2,
+                    MARGIN_TOP + plot_height + 12,
+                    label,
+                    9,
+                    "end",
+                    rotate=-45,
+                )
+            )
+    axis_y = MARGIN_TOP + plot_height
+    body.append(
+        f'<line x1="{MARGIN_LEFT}" y1="{axis_y}" '
+        f'x2="{WIDTH - MARGIN_RIGHT}" y2="{axis_y}" '
+        f'stroke="{TEXT_COLOR}" stroke-width="1"/>'
+    )
+    return _svg_document(body)
+
+
+def svg_multi_line_chart(
+    result: ExperimentResult,
+    label_column: int = 0,
+    value_columns: list[int] | None = None,
+    title: str | None = None,
+) -> str:
+    """Several numeric columns as line series (the Figure 10 shape)."""
+    numeric = value_columns or numeric_columns(result)
+    if not numeric:
+        raise ValueError(f"{result.experiment_id}: no numeric columns")
+    labels = [str(row[label_column]) for row in result.rows]
+    series = {
+        result.headers[column]: [_as_number(row[column]) for row in result.rows]
+        for column in numeric
+    }
+    maximum = max(
+        (max(values, default=0.0) for values in series.values()), default=0.0
+    ) or 1.0
+    plot_width = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_height = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    step = plot_width / max(1, len(labels) - 1)
+
+    palette = [BAR_COLOR, ACCENT_COLOR, "#3ba05c", "#8a5cb8", "#b89b3b"]
+    body: list[str] = []
+    body.append(
+        _text(MARGIN_LEFT, 24, title or f"{result.experiment_id}: {result.title}", 15)
+    )
+    for tick in _nice_ticks(maximum):
+        y = MARGIN_TOP + plot_height * (1 - tick / maximum)
+        body.append(
+            f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{WIDTH - MARGIN_RIGHT}" y2="{y:.1f}" '
+            f'stroke="{GRID_COLOR}"/>'
+        )
+        body.append(_text(MARGIN_LEFT - 6, y + 4, f"{tick:g}", 10, "end"))
+    for series_index, (name, values) in enumerate(series.items()):
+        color = palette[series_index % len(palette)]
+        points = " ".join(
+            f"{MARGIN_LEFT + i * step:.1f},"
+            f"{MARGIN_TOP + plot_height * (1 - v / maximum):.1f}"
+            for i, v in enumerate(values)
+        )
+        body.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        body.append(
+            _text(WIDTH - MARGIN_RIGHT - 4, 40 + series_index * 14, name, 11, "end")
+        )
+        body.append(
+            f'<rect x="{WIDTH - MARGIN_RIGHT - 120}" '
+            f'y="{32 + series_index * 14}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+    for index in range(0, len(labels), max(1, len(labels) // 12)):
+        x = MARGIN_LEFT + index * step
+        body.append(
+            _text(x, MARGIN_TOP + plot_height + 14, labels[index], 9, "middle")
+        )
+    return _svg_document(body)
+
+
+def svg_heatmap(matrix, title: str = "", max_cells: int = 120) -> str:
+    """A grayscale heatmap of a [0, 1] square matrix (Figure 5)."""
+    import numpy as np
+
+    values = np.asarray(matrix, dtype=float)
+    n = values.shape[0]
+    if n == 0:
+        raise ValueError("empty matrix")
+    step = max(1, math.ceil(n / max_cells))
+    size = math.ceil(n / step)
+    side = min(WIDTH, HEIGHT) - MARGIN_TOP - MARGIN_RIGHT
+    cell = side / size
+    body: list[str] = [_text(MARGIN_LEFT, 24, title or "distance matrix", 15)]
+    for i in range(size):
+        for j in range(size):
+            block = values[i * step : (i + 1) * step, j * step : (j + 1) * step]
+            value = float(block.mean())
+            shade = int(255 * (1 - value))
+            color = f"rgb({shade},{shade},{255 - (255 - shade) // 3})"
+            body.append(
+                f'<rect x="{MARGIN_LEFT + j * cell:.1f}" '
+                f'y="{MARGIN_TOP + i * cell:.1f}" width="{cell + 0.5:.1f}" '
+                f'height="{cell + 0.5:.1f}" fill="{color}"/>'
+            )
+    body.append(
+        _text(
+            MARGIN_LEFT,
+            MARGIN_TOP + side + 16,
+            "dark = low normalized DLD (similar sessions)",
+            11,
+        )
+    )
+    return _svg_document(body, width=WIDTH, height=MARGIN_TOP + side + 30)
+
+
+def render_svg(result: ExperimentResult) -> str | None:
+    """A default SVG for any experiment (None if not chartable)."""
+    if not numeric_columns(result):
+        return None
+    numeric = numeric_columns(result)
+    if result.experiment_id in ("fig10", "fig13") and len(numeric) >= 2:
+        return svg_multi_line_chart(result)
+    return svg_bar_chart(result)

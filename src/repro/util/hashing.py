@@ -1,0 +1,19 @@
+"""Hashing helpers: the honeypot records SHA-256 of file contents."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256_hex(payload: bytes | str) -> str:
+    """Return the hex SHA-256 digest of ``payload``."""
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def short_hash(payload: bytes | str, length: int = 12) -> str:
+    """A short stable identifier derived from SHA-256."""
+    if length < 1 or length > 64:
+        raise ValueError("length must be in [1, 64]")
+    return sha256_hex(payload)[:length]

@@ -1,0 +1,105 @@
+"""Deterministic hierarchical random number streams.
+
+The simulator derives thousands of independent random streams (one per
+bot per day, per IP pool, per malware family, ...).  To make every run a
+pure function of the master seed — regardless of iteration order — each
+stream is keyed by a path of names and derived via SHA-256, never by
+sharing a mutable ``random.Random`` across components.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable
+
+
+def derive_seed(master: int, *names: object) -> int:
+    """Derive a 64-bit seed from a master seed and a path of names."""
+    hasher = hashlib.sha256()
+    hasher.update(str(master).encode("utf-8"))
+    for name in names:
+        hasher.update(b"\x00")
+        hasher.update(str(name).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big")
+
+
+class RngTree:
+    """A node in a deterministic tree of random streams.
+
+    ``child(*names)`` returns a new :class:`RngTree` whose streams are
+    independent of the parent's and of any sibling's.  ``rand()`` returns
+    a ``random.Random`` seeded for this node; repeated calls return fresh
+    generators with the same seed (so a node's stream is replayable).
+    """
+
+    def __init__(self, seed: int, path: tuple[str, ...] = ()) -> None:
+        self._seed = seed
+        self._path = path
+
+    @property
+    def path(self) -> tuple[str, ...]:
+        return self._path
+
+    @property
+    def seed(self) -> int:
+        return derive_seed(self._seed, *self._path)
+
+    def child(self, *names: object) -> "RngTree":
+        """Return the child node at ``names`` below this node."""
+        return RngTree(self._seed, self._path + tuple(str(n) for n in names))
+
+    def rand(self) -> random.Random:
+        """Return a fresh ``random.Random`` for this node."""
+        return random.Random(self.seed)
+
+    def randint(self, low: int, high: int) -> int:
+        """Convenience: one deterministic integer in ``[low, high]``."""
+        return self.rand().randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Convenience: one deterministic float in ``[low, high)``."""
+        return self.rand().uniform(low, high)
+
+    def choice(self, items: list) -> object:
+        """Convenience: one deterministic choice from ``items``."""
+        if not items:
+            raise IndexError("cannot choose from an empty sequence")
+        return self.rand().choice(items)
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Sample a Poisson-distributed count.
+
+    Uses Knuth's method for small ``lam`` and a normal approximation for
+    large ``lam`` (exact enough for workload generation and far faster).
+    """
+    if lam < 0:
+        raise ValueError("lambda must be non-negative")
+    if lam == 0:
+        return 0
+    if lam > 50:
+        value = int(round(rng.gauss(lam, lam ** 0.5)))
+        return max(0, value)
+    limit = 2.718281828459045 ** (-lam)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+def weighted_choice(rng: random.Random, weighted: Iterable[tuple[object, float]]) -> object:
+    """Choose one item from ``(item, weight)`` pairs."""
+    pairs = [(item, weight) for item, weight in weighted if weight > 0]
+    if not pairs:
+        raise ValueError("no items with positive weight")
+    total = sum(weight for _, weight in pairs)
+    point = rng.random() * total
+    cumulative = 0.0
+    for item, weight in pairs:
+        cumulative += weight
+        if point <= cumulative:
+            return item
+    return pairs[-1][0]

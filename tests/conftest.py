@@ -1,0 +1,46 @@
+"""Shared fixtures: one simulated dataset per test session.
+
+The default-scale dataset takes a few seconds to build, so it is built
+once and shared; tests must treat it as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.experiments.dataset import Dataset, build_dataset
+from repro.experiments.runner import load_all_experiments
+
+
+@pytest.fixture(scope="session")
+def dataset() -> Dataset:
+    """The full-window default-scale dataset (shared, read-only)."""
+    return build_dataset(DEFAULT_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def results(dataset):
+    """All experiment results over the shared dataset."""
+    from repro.experiments.base import REGISTRY, get_experiment
+
+    load_all_experiments()
+    return {eid: get_experiment(eid).run(dataset) for eid in REGISTRY}
+
+
+@pytest.fixture(scope="session")
+def short_config() -> SimulationConfig:
+    """A three-month window at higher density (fast, denser days)."""
+    from datetime import date
+
+    return SimulationConfig(
+        seed=11,
+        scale=1e-4,
+        start=date(2022, 2, 1),
+        end=date(2022, 4, 30),
+    )
+
+
+@pytest.fixture(scope="session")
+def short_dataset(short_config) -> Dataset:
+    return build_dataset(short_config)

@@ -1,0 +1,122 @@
+"""Activity models."""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attackers.activity import (
+    Campaign,
+    ConstantRate,
+    LinearTrend,
+    MonthlyRate,
+    RampUp,
+    SumRate,
+    Suppressed,
+    Wave,
+    total_rate,
+)
+
+_dates = st.dates(min_value=date(2021, 1, 1), max_value=date(2025, 1, 1))
+
+
+class TestConstantRate:
+    def test_inside_window(self):
+        model = ConstantRate(10, date(2022, 1, 1), date(2022, 12, 31))
+        assert model.rate(date(2022, 6, 1)) == 10
+
+    def test_outside_window(self):
+        model = ConstantRate(10, date(2022, 1, 1), date(2022, 12, 31))
+        assert model.rate(date(2021, 12, 31)) == 0
+        assert model.rate(date(2023, 1, 1)) == 0
+
+    def test_unbounded(self):
+        assert ConstantRate(5).rate(date(1999, 1, 1)) == 5
+
+
+class TestMonthlyRate:
+    def test_lookup(self):
+        model = MonthlyRate({"2022-03": 7.0}, default=1.0)
+        assert model.rate(date(2022, 3, 15)) == 7.0
+        assert model.rate(date(2022, 4, 15)) == 1.0
+
+
+class TestLinearTrend:
+    def test_endpoints(self):
+        model = LinearTrend(date(2022, 1, 1), date(2022, 1, 11), 0, 100)
+        assert model.rate(date(2022, 1, 1)) == 0
+        assert model.rate(date(2022, 1, 11)) == 100
+        assert model.rate(date(2022, 1, 6)) == pytest.approx(50)
+
+    def test_outside_zero(self):
+        model = LinearTrend(date(2022, 1, 1), date(2022, 2, 1), 1, 2)
+        assert model.rate(date(2021, 12, 31)) == 0
+
+
+class TestWave:
+    def test_peak_at_center(self):
+        wave = Wave(date(2022, 6, 1), 10, 100)
+        assert wave.rate(date(2022, 6, 1)) == 100
+        assert wave.rate(date(2022, 6, 11)) < 100
+
+    def test_symmetric(self):
+        wave = Wave(date(2022, 6, 1), 10, 100)
+        before = wave.rate(date(2022, 5, 22))
+        after = wave.rate(date(2022, 6, 11))
+        assert before == pytest.approx(after)
+
+
+class TestCampaign:
+    def test_abrupt_edges(self):
+        campaign = Campaign(date(2022, 1, 10), date(2022, 2, 10), 50)
+        assert campaign.rate(date(2022, 1, 9)) == 0
+        assert campaign.rate(date(2022, 1, 10)) == 50
+        assert campaign.rate(date(2022, 2, 10)) == 50
+        assert campaign.rate(date(2022, 2, 11)) == 0
+
+    def test_ramp(self):
+        campaign = Campaign(date(2022, 1, 1), date(2022, 2, 1), 100, ramp_days=4)
+        assert campaign.rate(date(2022, 1, 1)) < 100
+        assert campaign.rate(date(2022, 1, 10)) == 100
+
+
+class TestComposition:
+    def test_sum(self):
+        model = ConstantRate(1) + ConstantRate(2)
+        assert model.rate(date(2022, 1, 1)) == 3
+
+    def test_suppressed_floor(self):
+        base = ConstantRate(1000)
+        model = Suppressed(base, [(date(2022, 3, 1), date(2022, 3, 5))], 0.01)
+        assert model.rate(date(2022, 3, 3)) == pytest.approx(10)
+        assert model.rate(date(2022, 4, 1)) == 1000
+        assert model.in_window(date(2022, 3, 5))
+        assert not model.in_window(date(2022, 3, 6))
+
+    def test_rampup(self):
+        model = RampUp(ConstantRate(100), date(2022, 1, 1), ramp_days=10)
+        assert model.rate(date(2021, 12, 1)) == 0
+        assert model.rate(date(2022, 1, 1)) < 20
+        assert model.rate(date(2022, 2, 1)) == 100
+
+    def test_total_rate_integrates(self):
+        model = ConstantRate(2, date(2022, 1, 1), date(2022, 1, 10))
+        assert total_rate(model, date(2022, 1, 1), date(2022, 1, 10)) == 20
+
+    @given(_dates)
+    @settings(max_examples=60)
+    def test_rates_never_negative(self, day):
+        models = [
+            ConstantRate(5),
+            Wave(date(2022, 6, 1), 20, 50),
+            Campaign(date(2022, 1, 1), date(2023, 1, 1), 10, ramp_days=3),
+            LinearTrend(date(2022, 1, 1), date(2023, 1, 1), 1, 9),
+            Suppressed(ConstantRate(7), [(date(2022, 2, 1), date(2022, 2, 9))]),
+            RampUp(ConstantRate(3), date(2022, 1, 1)),
+            SumRate([ConstantRate(1), Wave(date(2022, 3, 1), 5, 2)]),
+        ]
+        for model in models:
+            assert model.rate(day) >= 0

@@ -1,0 +1,163 @@
+"""Distance matrices, K-medoids, model selection, cluster labelling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.clusterselect import cluster_with_selection, elbow_point, select_k
+from repro.analysis.distance import distance_matrix
+from repro.analysis.kmedoids import kmedoids, silhouette_score
+
+
+def two_group_matrix(n_per_group: int = 6, gap: float = 1.0) -> np.ndarray:
+    """Block matrix: two tight groups far apart."""
+    n = 2 * n_per_group
+    matrix = np.full((n, n), gap)
+    for start in (0, n_per_group):
+        block = slice(start, start + n_per_group)
+        matrix[block, block] = 0.05
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        tokens = [["a", "b"], ["a", "c"], ["x"]]
+        matrix = distance_matrix(tokens)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_matches_brute_force(self):
+        from repro.analysis.dld import normalized_dld
+
+        tokens = [["a", "b"], ["a", "c"], ["a", "b"], ["x", "y", "z"]]
+        matrix = distance_matrix(tokens)
+        for i in range(4):
+            for j in range(4):
+                assert matrix[i, j] == pytest.approx(
+                    normalized_dld(tokens[i], tokens[j])
+                )
+
+    def test_duplicates_have_zero_distance(self):
+        matrix = distance_matrix([["a"], ["a"], ["b"]])
+        assert matrix[0, 1] == 0.0
+        assert matrix[0, 2] > 0
+
+
+class TestKMedoids:
+    def test_separates_two_groups(self):
+        matrix = two_group_matrix()
+        result = kmedoids(matrix, 2, seed=0)
+        labels = result.labels
+        assert len(set(labels[:6])) == 1
+        assert len(set(labels[6:])) == 1
+        assert labels[0] != labels[6]
+
+    def test_inertia_decreases_with_k(self):
+        matrix = two_group_matrix()
+        inertia_1 = kmedoids(matrix, 1, seed=0).inertia
+        inertia_2 = kmedoids(matrix, 2, seed=0).inertia
+        assert inertia_2 < inertia_1
+
+    def test_k_equals_n(self):
+        matrix = two_group_matrix(3)
+        result = kmedoids(matrix, 6, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_invalid_k(self):
+        matrix = two_group_matrix(2)
+        with pytest.raises(ValueError):
+            kmedoids(matrix, 0)
+        with pytest.raises(ValueError):
+            kmedoids(matrix, 10)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            kmedoids(np.zeros((2, 3)), 1)
+
+    def test_members(self):
+        matrix = two_group_matrix()
+        result = kmedoids(matrix, 2, seed=0)
+        sizes = sorted(len(result.members(c)) for c in range(2))
+        assert sizes == [6, 6]
+
+    def test_deterministic(self):
+        matrix = two_group_matrix()
+        a = kmedoids(matrix, 2, seed=3)
+        b = kmedoids(matrix, 2, seed=3)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestSilhouette:
+    def test_high_for_separated_groups(self):
+        matrix = two_group_matrix()
+        result = kmedoids(matrix, 2, seed=0)
+        assert silhouette_score(matrix, result.labels) > 0.8
+
+    def test_single_cluster_zero(self):
+        matrix = two_group_matrix()
+        assert silhouette_score(matrix, np.zeros(12, dtype=int)) == 0.0
+
+    def test_bad_clustering_scores_lower(self):
+        matrix = two_group_matrix()
+        good = kmedoids(matrix, 2, seed=0).labels
+        bad = np.array([0, 1] * 6)
+        assert silhouette_score(matrix, bad) < silhouette_score(matrix, good)
+
+
+class TestSelection:
+    def test_elbow_point_on_knee_curve(self):
+        candidates = [1, 2, 3, 4, 5, 6]
+        inertias = [100, 20, 15, 12, 10, 9]  # knee at 2
+        assert elbow_point(candidates, inertias) in (2, 3)
+
+    def test_select_k_two_groups(self):
+        matrix = two_group_matrix(8)
+        selection = select_k(matrix, candidates=[2, 3, 4, 5], seed=0)
+        assert selection.silhouette_k == 2
+        assert selection.chosen_k in (2, 3)
+
+    def test_cluster_with_selection_returns_consistent(self):
+        matrix = two_group_matrix(8)
+        result, selection = cluster_with_selection(matrix, seed=0)
+        assert result.k == selection.chosen_k
+
+    def test_small_matrix(self):
+        matrix = two_group_matrix(2)
+        selection = select_k(matrix, seed=0)
+        assert 2 <= selection.chosen_k < 4
+
+
+class TestClusterLabelling:
+    def test_profiles_ranked_by_tokens(self, dataset):
+        clustering = dataset.clustering()
+        avg = [p.avg_tokens for p in clustering.profiles]
+        assert avg == sorted(avg)
+        assert clustering.profiles[0].rank == 1
+
+    def test_labels_contain_rank(self, dataset):
+        clustering = dataset.clustering()
+        for profile in clustering.profiles:
+            assert profile.label.startswith(f"C-{profile.rank}")
+
+    def test_all_sessions_assigned(self, dataset):
+        clustering = dataset.clustering()
+        total = sum(p.size for p in clustering.profiles)
+        assert total == len(clustering.sessions)
+
+    def test_family_labels_from_known_families(self, dataset):
+        known = {
+            "Mirai", "Gafgyt", "Dofloo", "CoinMiner", "XorDDoS", "Malicious",
+        }
+        for profile in dataset.clustering().profiles:
+            assert set(profile.families) <= known
+
+    def test_sorted_matrix_shape(self, dataset):
+        from repro.analysis.clusterlabel import sorted_distance_matrix
+
+        clustering = dataset.clustering()
+        ordered = sorted_distance_matrix(
+            clustering.matrix, clustering.result, clustering.profiles
+        )
+        assert ordered.shape == clustering.matrix.shape

@@ -1,0 +1,105 @@
+"""Login/password analyses (Figures 10 and 11)."""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.analysis.logins import (
+    FIGURE10_PASSWORDS,
+    default_account_stats,
+    monthly_password_counts,
+    sessions_with_password,
+    successful_login_password,
+    top_passwords,
+)
+from repro.honeypot.session import (
+    CommandRecord,
+    LoginAttempt,
+    Protocol,
+    SessionRecord,
+)
+from repro.util.timeutils import to_epoch
+
+
+def session(
+    attempts,
+    when=date(2023, 1, 10),
+    commands=(),
+    client_ip="1.1.1.1",
+) -> SessionRecord:
+    return SessionRecord(
+        session_id=f"s-{client_ip}-{when}-{len(attempts)}-{len(commands)}",
+        honeypot_id="hp",
+        honeypot_ip="192.0.2.1",
+        honeypot_port=22,
+        protocol=Protocol.SSH,
+        client_ip=client_ip,
+        client_port=1,
+        start=to_epoch(when),
+        end=to_epoch(when) + 1,
+        logins=list(attempts),
+        commands=[CommandRecord(raw=c, known=True) for c in commands],
+    )
+
+
+class TestPasswordCounts:
+    def test_successful_password_extracted(self):
+        record = session(
+            [LoginAttempt("root", "bad", False), LoginAttempt("root", "good", True)]
+        )
+        assert successful_login_password(record) == "good"
+
+    def test_failed_session_none(self):
+        record = session([LoginAttempt("root", "root", False)])
+        assert successful_login_password(record) is None
+
+    def test_monthly_counts(self):
+        sessions = [
+            session([LoginAttempt("root", "1234", True)], date(2023, 1, 5)),
+            session([LoginAttempt("root", "1234", True)], date(2023, 1, 6)),
+            session([LoginAttempt("root", "admin", True)], date(2023, 2, 5)),
+        ]
+        counts = monthly_password_counts(sessions)
+        assert counts["2023-01"]["1234"] == 2
+        assert counts["2023-02"]["admin"] == 1
+
+    def test_top_passwords(self):
+        sessions = [
+            session([LoginAttempt("root", "a", True)]),
+            session([LoginAttempt("root", "a", True)], date(2023, 1, 11)),
+            session([LoginAttempt("root", "b", True)], date(2023, 1, 12)),
+        ]
+        assert top_passwords(sessions, 1) == [("a", 2)]
+
+    def test_sessions_with_password(self):
+        match = session([LoginAttempt("root", "3245gs5662d34", True)])
+        other = session([LoginAttempt("root", "x", True)], date(2023, 1, 11))
+        assert sessions_with_password([match, other], "3245gs5662d34") == [match]
+
+    def test_figure10_password_list(self):
+        assert "3245gs5662d34" in FIGURE10_PASSWORDS
+        assert "dreambox" in FIGURE10_PASSWORDS
+
+
+class TestDefaultAccountStats:
+    def test_stats(self, dataset):
+        ssh = dataset.database.ssh_sessions()
+        phil = default_account_stats(ssh, "phil", dataset.whois)
+        assert phil.sessions > 0
+        assert phil.successes == phil.sessions  # phil always accepted
+        assert phil.silent_fraction > 0.7
+        assert phil.unique_ips > 5
+        assert phil.unique_ases > 3
+
+    def test_richard_never_succeeds(self, dataset):
+        ssh = dataset.database.ssh_sessions()
+        richard = default_account_stats(ssh, "richard", dataset.whois)
+        assert richard.sessions > 0
+        assert richard.successes == 0
+        assert richard.silent_fraction == 0.0
+
+    def test_unknown_username_empty(self, dataset):
+        stats = default_account_stats(
+            dataset.database.ssh_sessions(), "nosuchuser", dataset.whois
+        )
+        assert stats.sessions == 0

@@ -1,0 +1,160 @@
+"""Deeper property-based tests on core data structures.
+
+Includes a brute-force reference implementation of the restricted
+Damerau-Levenshtein distance to cross-check the optimized DP, invariant
+checks for K-medoids outputs, and a stateful model test of the fake
+filesystem.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.analysis.dld import damerau_levenshtein
+from repro.analysis.kmedoids import kmedoids, silhouette_score
+from repro.honeypot.fs import FakeFilesystem
+
+
+def reference_dld(a: tuple[str, ...], b: tuple[str, ...]) -> int:
+    """Naive memoized restricted-DLD (optimal string alignment)."""
+
+    @lru_cache(maxsize=None)
+    def solve(i: int, j: int) -> int:
+        if i == 0:
+            return j
+        if j == 0:
+            return i
+        cost = 0 if a[i - 1] == b[j - 1] else 1
+        best = min(
+            solve(i - 1, j) + 1,
+            solve(i, j - 1) + 1,
+            solve(i - 1, j - 1) + cost,
+        )
+        if i > 1 and j > 1 and a[i - 1] == b[j - 2] and a[i - 2] == b[j - 1]:
+            best = min(best, solve(i - 2, j - 2) + cost)
+        return best
+
+    return solve(len(a), len(b))
+
+
+_tokens = st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=8)
+
+
+class TestDldAgainstReference:
+    @given(_tokens, _tokens)
+    @settings(max_examples=250)
+    def test_matches_reference(self, a, b):
+        assert damerau_levenshtein(a, b) == reference_dld(tuple(a), tuple(b))
+
+    def test_transposition_cases(self):
+        # classic OSA cases
+        assert damerau_levenshtein(list("ca"), list("abc")) == 3
+        assert damerau_levenshtein(list("ab"), list("ba")) == 1
+        assert damerau_levenshtein(list("abcd"), list("badc")) == 2
+
+
+@st.composite
+def distance_matrices(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    matrix = np.zeros((n, n))
+    index = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = values[index]
+            index += 1
+    return matrix
+
+
+class TestKMedoidsInvariants:
+    @given(distance_matrices(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_output_invariants(self, matrix, k):
+        n = matrix.shape[0]
+        k = min(k, n)
+        result = kmedoids(matrix, k, seed=1)
+        assert len(result.labels) == n
+        assert result.inertia >= 0.0
+        assert len(result.medoids) == k
+        # labels reference valid clusters; every medoid belongs to its
+        # own cluster
+        assert set(result.labels.tolist()) <= set(range(k))
+        for cluster, medoid in enumerate(result.medoids):
+            members = result.members(cluster)
+            if members.size:
+                assert result.labels[medoid] == cluster
+
+    @given(distance_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_silhouette_bounds(self, matrix):
+        n = matrix.shape[0]
+        result = kmedoids(matrix, min(3, n), seed=0)
+        score = silhouette_score(matrix, result.labels)
+        assert -1.0 <= score <= 1.0
+
+
+class FilesystemMachine(RuleBasedStateMachine):
+    """Model-based test: FakeFilesystem vs a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.fs = FakeFilesystem()
+        self.model: dict[str, bytes] = {}
+
+    names = st.sampled_from(["a", "b", "c", "deep/x", "deep/y"])
+    payloads = st.binary(max_size=16)
+
+    @rule(name=names, payload=payloads)
+    def write(self, name, payload):
+        path = f"/tmp/{name}"
+        self.fs.write(path, payload)
+        self.model[path] = payload
+
+    @rule(name=names, payload=payloads)
+    def append(self, name, payload):
+        path = f"/tmp/{name}"
+        self.fs.write(path, payload, append=True)
+        self.model[path] = self.model.get(path, b"") + payload
+
+    @rule(name=names)
+    def delete(self, name):
+        path = f"/tmp/{name}"
+        existed_model = path in self.model
+        existed_fs = self.fs.delete(path)
+        assert existed_fs == existed_model
+        self.model.pop(path, None)
+
+    @rule()
+    def delete_tree(self):
+        doomed = self.fs.delete_tree("/tmp/deep")
+        expected = {p for p in self.model if p.startswith("/tmp/deep/")}
+        assert set(doomed) == expected
+        for path in expected:
+            del self.model[path]
+
+    @invariant()
+    def contents_agree(self):
+        for path, payload in self.model.items():
+            assert self.fs.read(path) == payload
+        for name in ("a", "b", "c"):
+            path = f"/tmp/{name}"
+            if path not in self.model:
+                assert self.fs.read(path) is None
+
+    @invariant()
+    def baseline_untouched(self):
+        assert self.fs.is_file("/etc/passwd")
+
+
+TestFilesystemMachine = FilesystemMachine.TestCase

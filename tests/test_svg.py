@@ -1,0 +1,123 @@
+"""SVG figure rendering."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.reporting.svg import (
+    render_svg,
+    svg_bar_chart,
+    svg_heatmap,
+    svg_multi_line_chart,
+)
+
+
+@pytest.fixture
+def monthly_result():
+    return ExperimentResult(
+        experiment_id="fig01",
+        title="Sample",
+        headers=["month", "a", "b"],
+        rows=[["2022-01", 10, 1], ["2022-02", 20, 2], ["2022-03", 5, 3]],
+        notes=[],
+    )
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestBarChart:
+    def test_well_formed(self, monthly_result):
+        root = parse(svg_bar_chart(monthly_result))
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_row(self, monthly_result):
+        root = parse(svg_bar_chart(monthly_result))
+        bars = [
+            el for el in root.iter()
+            if el.tag.endswith("rect") and el.find("{http://www.w3.org/2000/svg}title") is not None
+        ]
+        assert len(bars) == 3
+
+    def test_tallest_bar_is_max_value(self, monthly_result):
+        root = parse(svg_bar_chart(monthly_result, value_column=1))
+        bars = [
+            el for el in root.iter()
+            if el.tag.endswith("rect") and el.find("{http://www.w3.org/2000/svg}title") is not None
+        ]
+        heights = [float(b.get("height")) for b in bars]
+        assert max(heights) == heights[1]  # the value-20 row
+
+    def test_title_escaped(self):
+        result = ExperimentResult(
+            "x", "a <b> & c", ["l", "v"], [["m", 1]], []
+        )
+        parse(svg_bar_chart(result))  # must not raise
+
+    def test_no_numeric_raises(self):
+        result = ExperimentResult("x", "t", ["l"], [["only"]], [])
+        with pytest.raises(ValueError):
+            svg_bar_chart(result)
+
+
+class TestMultiLine:
+    def test_one_polyline_per_series(self, monthly_result):
+        root = parse(svg_multi_line_chart(monthly_result))
+        polylines = [el for el in root.iter() if el.tag.endswith("polyline")]
+        assert len(polylines) == 2
+
+    def test_points_count(self, monthly_result):
+        root = parse(svg_multi_line_chart(monthly_result))
+        polyline = next(el for el in root.iter() if el.tag.endswith("polyline"))
+        assert len(polyline.get("points").split()) == 3
+
+
+class TestHeatmap:
+    def test_cells(self):
+        matrix = np.array([[0.0, 0.5], [0.5, 0.0]])
+        root = parse(svg_heatmap(matrix))
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        # background + 4 cells
+        assert len(rects) == 5
+
+    def test_downsamples(self):
+        matrix = np.random.default_rng(0).random((300, 300))
+        text = svg_heatmap(matrix, max_cells=50)
+        root = parse(text)
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        assert len(rects) == 50 * 50 + 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            svg_heatmap(np.zeros((0, 0)))
+
+
+class TestRenderSvg:
+    def test_default_bar(self, monthly_result):
+        assert render_svg(monthly_result) is not None
+
+    def test_fig10_gets_lines(self):
+        result = ExperimentResult(
+            "fig10", "t", ["month", "p1", "p2"],
+            [["2023-01", 1, 2], ["2023-02", 3, 4]], [],
+        )
+        assert "polyline" in render_svg(result)
+
+    def test_non_numeric_none(self):
+        result = ExperimentResult("x", "t", ["l"], [["text"]], [])
+        assert render_svg(result) is None
+
+    def test_all_experiments_export(self, results, tmp_path):
+        exported = 0
+        for result in results.values():
+            document = render_svg(result)
+            if document is None:
+                continue
+            parse(document)
+            exported += 1
+        assert exported >= 10

@@ -1,0 +1,112 @@
+"""Deterministic RNG trees and sampling helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import RngTree, derive_seed, poisson, weighted_choice
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_distinct_paths(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "b", "a")
+
+    def test_distinct_masters(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_path_concatenation_is_not_ambiguous(self):
+        # ("ab",) must differ from ("a", "b")
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    @given(st.integers(), st.text(max_size=20))
+    @settings(max_examples=50)
+    def test_in_64_bit_range(self, master, name):
+        value = derive_seed(master, name)
+        assert 0 <= value < 2**64
+
+
+class TestRngTree:
+    def test_child_streams_are_independent(self):
+        tree = RngTree(1)
+        a = tree.child("x").rand().random()
+        b = tree.child("y").rand().random()
+        assert a != b
+
+    def test_rand_is_replayable(self):
+        node = RngTree(1).child("x")
+        assert node.rand().random() == node.rand().random()
+
+    def test_nested_children(self):
+        tree = RngTree(1)
+        assert tree.child("a", "b").seed == tree.child("a").child("b").seed
+
+    def test_numeric_names_coerced(self):
+        tree = RngTree(1)
+        assert tree.child(5).seed == tree.child("5").seed
+
+    def test_convenience_helpers(self):
+        node = RngTree(3).child("n")
+        assert 1 <= node.randint(1, 6) <= 6
+        assert 0.0 <= node.uniform(0.0, 1.0) < 1.0
+        assert node.choice([1, 2, 3]) in (1, 2, 3)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(IndexError):
+            RngTree(3).child("n").choice([])
+
+
+class TestPoisson:
+    def test_zero_lambda(self):
+        assert poisson(random.Random(0), 0.0) == 0
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            poisson(random.Random(0), -1.0)
+
+    def test_mean_small_lambda(self):
+        rng = random.Random(42)
+        draws = [poisson(rng, 3.0) for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 2.8 < mean < 3.2
+
+    def test_mean_large_lambda(self):
+        rng = random.Random(42)
+        draws = [poisson(rng, 400.0) for _ in range(1000)]
+        mean = sum(draws) / len(draws)
+        assert 390 < mean < 410
+
+    def test_large_lambda_never_negative(self):
+        rng = random.Random(1)
+        assert all(poisson(rng, 60.0) >= 0 for _ in range(500))
+
+    @given(st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=60)
+    def test_always_non_negative_int(self, lam):
+        value = poisson(random.Random(0), lam)
+        assert isinstance(value, int)
+        assert value >= 0
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = random.Random(0)
+        draws = [
+            weighted_choice(rng, [("a", 9.0), ("b", 1.0)]) for _ in range(2000)
+        ]
+        share_a = draws.count("a") / len(draws)
+        assert 0.85 < share_a < 0.95
+
+    def test_zero_weights_excluded(self):
+        rng = random.Random(0)
+        assert weighted_choice(rng, [("a", 0.0), ("b", 1.0)]) == "b"
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            weighted_choice(random.Random(0), [("a", 0.0)])
