@@ -10,7 +10,7 @@ plus two campaign waves, suppressed during event windows".
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import date, timedelta
 
 from repro.util.timeutils import month_key

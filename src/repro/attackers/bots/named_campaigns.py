@@ -14,7 +14,7 @@ import random
 from datetime import date
 from typing import Callable
 
-from repro.attackers.activity import ActivityModel, Campaign, ConstantRate, Wave
+from repro.attackers.activity import ActivityModel, Campaign, Wave
 from repro.attackers.base import SAFE_NAME_ALPHABET, Bot, BotContext, random_password
 from repro.attackers.dictionary import root_credential
 from repro.attackers.ippool import ClientIPPool

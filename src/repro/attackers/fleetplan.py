@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.attackers.base import Bot, BotContext
+from repro.attackers.base import Bot
 from repro.attackers.bots.busybox_bots import (
     Bbox5CharBot,
     BboxEchoElfBot,

@@ -2,8 +2,15 @@
 
 For each day in the window, every bot draws its Poisson session count,
 builds connection intents, and the orchestrator routes each intent to a
-honeypot at a concrete time of day.  The collector applies outage
-windows; the result is wrapped in a queryable session database.
+honeypot at a concrete time of day.  Delivery to the collector goes
+through the fault-profile's transport channel (lossless for the default
+paper profile); the result is wrapped in a queryable session database.
+
+The day-loop supports checkpoint/resume: because every per-day random
+stream is keyed by ``(bot, date)`` paths rather than shared generator
+state, the only mutable state a resumed run must restore is the
+collector and each honeypot's session counter — see
+:mod:`repro.faults.checkpoint`.
 """
 
 from __future__ import annotations
@@ -11,12 +18,26 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
+from datetime import date, timedelta
+from pathlib import Path
 
 from repro.attackers.base import Bot, BotContext
 from repro.attackers.fleetplan import build_fleet
 from repro.attackers.infrastructure import StorageInfrastructure
 from repro.attackers.malware import MalwareFactory
 from repro.config import SimulationConfig
+from repro.faults.checkpoint import (
+    load_checkpoint,
+    restore_state,
+    save_checkpoint,
+)
+from repro.faults.coverage import CoverageReport, build_coverage_report
+from repro.faults.plan import FaultPlan, compile_fault_plan
+from repro.faults.transport import (
+    DirectChannel,
+    ResilientChannel,
+    build_channel,
+)
 from repro.honeynet.collector import Collector
 from repro.honeynet.database import SessionDatabase
 from repro.honeynet.deployment import Honeynet, deploy_honeynet
@@ -26,6 +47,10 @@ from repro.util.rng import RngTree
 from repro.util.timeutils import days_between, month_key, to_epoch
 
 logger = logging.getLogger("repro.simulation")
+
+#: Default checkpoint cadence (simulated days) when a checkpoint path
+#: is given without an explicit interval.
+DEFAULT_CHECKPOINT_EVERY_DAYS = 30
 
 
 @dataclass
@@ -41,15 +66,38 @@ class SimulationResult:
     database: SessionDatabase
     bots: list[Bot]
     whois: HistoricalWhois
+    plan: FaultPlan
+    coverage: CoverageReport
+    channel: DirectChannel | ResilientChannel
 
 
 #: Signature of the optional fleet-extension hook.
 ExtraBotsFactory = "Callable[[BasePopulation, RngTree, SimulationConfig], list[Bot]]"
 
 
+def _check_bot_names(bots: list[Bot]) -> None:
+    """Reject fleets with duplicate bot names, naming the offenders."""
+    seen: set[str] = set()
+    colliding: set[str] = set()
+    for bot in bots:
+        if bot.name in seen:
+            colliding.add(bot.name)
+        seen.add(bot.name)
+    if colliding:
+        names = ", ".join(sorted(colliding))
+        raise ValueError(
+            f"extra bots collide with fleet bot names: {names}"
+        )
+
+
 def run_simulation(
     config: SimulationConfig,
     extra_bots_factory=None,
+    *,
+    checkpoint_path: Path | str | None = None,
+    checkpoint_every_days: int | None = None,
+    resume: bool = False,
+    stop_after: date | None = None,
 ) -> SimulationResult:
     """Generate the full synthetic dataset for ``config``.
 
@@ -57,6 +105,15 @@ def run_simulation(
     additional :class:`~repro.attackers.base.Bot` instances to run
     alongside the paper's roster — the extension point for studying new
     attacker behaviours against the same honeynet.
+
+    Checkpointing: with ``checkpoint_path`` set, collector state and the
+    day cursor are saved every ``checkpoint_every_days`` simulated days
+    (atomic overwrite).  ``resume=True`` restores that state and
+    continues from the saved cursor; a missing checkpoint file simply
+    starts from scratch.  ``stop_after`` ends the loop after the given
+    day (checkpointing first, when enabled), modelling a controlled
+    shutdown mid-window; the returned result then covers only the
+    simulated prefix.
     """
     tree = RngTree(config.seed)
     population = build_base_population(
@@ -77,19 +134,60 @@ def run_simulation(
         bots = bots + list(
             extra_bots_factory(population, tree.child("extra"), config)
         )
-        names = [bot.name for bot in bots]
-        if len(names) != len(set(names)):
-            raise ValueError("extra bots collide with fleet bot names")
-    collector = Collector()
+        _check_bot_names(bots)
+
+    plan = compile_fault_plan(
+        config.faults,
+        (honeypot.honeypot_id for honeypot in honeynet.honeypots),
+        config.start,
+        config.end,
+        tree.child("faults"),
+    )
+    coverage = build_coverage_report(plan)
+    collector = Collector(
+        outages=config.faults.outages,
+        sensor_down_days=plan.sensor_down_days,
+    )
+    channel = build_channel(
+        collector, config.faults.transport, tree.child("faults", "transport")
+    )
+    deliver = channel.deliver
+
+    first_day = config.start
+    if resume:
+        if checkpoint_path is None:
+            raise ValueError("resume=True requires a checkpoint_path")
+        if Path(checkpoint_path).exists():
+            checkpoint = load_checkpoint(checkpoint_path, config)
+            first_day = restore_state(checkpoint, honeynet, collector)
+            logger.info(
+                "resumed from %s: %d sessions, next day %s",
+                checkpoint_path, len(collector.sessions), first_day,
+            )
+        else:
+            logger.info(
+                "no checkpoint at %s; starting fresh", checkpoint_path
+            )
+    if checkpoint_path is not None and checkpoint_every_days is None:
+        checkpoint_every_days = DEFAULT_CHECKPOINT_EVERY_DAYS
+
     fleet_size = len(honeynet.honeypots)
     started = time.monotonic()
     logger.info(
-        "simulating %s..%s at scale=%g with %d bots on %d honeypots",
-        config.start, config.end, config.scale, len(bots), fleet_size,
+        "simulating %s..%s at scale=%g with %d bots on %d honeypots "
+        "(fault profile: %s)",
+        first_day, config.end, config.scale, len(bots), fleet_size,
+        config.faults.name,
     )
 
     current_month: str | None = None
-    for day in days_between(config.start, config.end):
+    days_done = 0
+    days = (
+        days_between(first_day, config.end)
+        if first_day <= config.end
+        else iter(())
+    )
+    for day in days:
         month = month_key(day)
         if month != current_month:
             if current_month is not None:
@@ -113,12 +211,27 @@ def run_simulation(
                     continue
                 when = to_epoch(day, bot.start_seconds(route_rng, day))
                 record = honeypot.handle(intent, when)
-                collector.ingest(record)
+                deliver(record)
+        days_done += 1
+        stopping = stop_after is not None and day >= stop_after
+        if checkpoint_path is not None and (
+            stopping or days_done % checkpoint_every_days == 0
+        ):
+            save_checkpoint(
+                checkpoint_path, config, day + timedelta(days=1),
+                honeynet, collector,
+            )
+            logger.debug("checkpointed through %s", day)
+        if stopping:
+            logger.info("controlled stop after %s", day)
+            break
 
     database = SessionDatabase(collector.sessions)
     logger.info(
-        "simulation finished: %d sessions (%d dropped in outages) in %.1fs",
-        len(database), collector.dropped, time.monotonic() - started,
+        "simulation finished: %d sessions (%d dropped in outages/downtime, "
+        "%d dead-lettered) in %.1fs",
+        len(database), collector.dropped, collector.dead_lettered,
+        time.monotonic() - started,
     )
     return SimulationResult(
         config=config,
@@ -130,4 +243,7 @@ def run_simulation(
         database=database,
         bots=bots,
         whois=HistoricalWhois(population.registry),
+        plan=plan,
+        coverage=coverage,
+        channel=channel,
     )

@@ -6,24 +6,44 @@ Subcommands:
 * ``experiments`` — run (a subset of) the experiments and print reports.
 * ``export``      — run experiments and write their data as JSON/CSV.
 * ``report``      — regenerate the EXPERIMENTS.md comparison document.
+* ``faults``      — simulate under a fault profile and print the
+  resilience report (fault plan, collector accounting, coverage).
+
+Every subcommand accepts ``--fault-profile {none,paper,stress}``; the
+default ``paper`` models exactly the deployment the paper describes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from datetime import date
 from pathlib import Path
 
 from repro.config import BENCH_CONFIG, DEFAULT_CONFIG, SimulationConfig
+from repro.faults.plan import FaultProfile
+
+#: Profile names accepted by ``--fault-profile``.
+FAULT_PROFILES = ("none", "paper", "stress")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=DEFAULT_CONFIG.scale)
     parser.add_argument("--seed", type=int, default=DEFAULT_CONFIG.seed)
+    parser.add_argument(
+        "--fault-profile",
+        choices=FAULT_PROFILES,
+        default="paper",
+        help="fault-injection profile (see docs/fault-model.md)",
+    )
 
 
 def _config(args: argparse.Namespace) -> SimulationConfig:
-    return SimulationConfig(scale=args.scale, seed=args.seed)
+    return SimulationConfig(
+        scale=args.scale,
+        seed=args.seed,
+        faults=FaultProfile.from_name(getattr(args, "fault_profile", "paper")),
+    )
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -101,6 +121,90 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run the simulation and print the fault/resilience report."""
+    from repro.attackers.orchestrator import run_simulation
+    from repro.util.text import format_table
+
+    config = _config(args)
+    result = run_simulation(
+        config,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every_days=args.checkpoint_every,
+        resume=args.resume,
+        stop_after=args.stop_after,
+    )
+    profile = config.faults
+
+    print(f"== fault profile: {profile.name} ==")
+    for window in profile.outages:
+        print(f"fleet outage: {window.start}..{window.end} ({window.days}d)")
+    if profile.has_churn:
+        print(
+            f"sensor churn: {profile.crashes_per_sensor_year:g} crashes/"
+            f"sensor-year, mean downtime {profile.crash_downtime_mean_days:g}d "
+            f"-> {len(result.plan.downtimes)} crash windows, "
+            f"{result.plan.sensor_down_day_count} sensor-days down"
+        )
+    transport = profile.transport
+    if not transport.lossless:
+        print(
+            f"transport: fail {transport.failure_probability:.1%} + corrupt "
+            f"{transport.corruption_probability:.1%} per attempt, duplicates "
+            f"{transport.duplicate_probability:.1%}, "
+            f"{transport.max_attempts} attempts"
+        )
+
+    print()
+    print("== collector accounting ==")
+    accounting = result.collector.accounting()
+    print(
+        format_table(
+            ["counter", "value"],
+            [[key, value] for key, value in accounting.items()],
+        )
+    )
+    balanced = result.collector.accounting_balanced()
+    print(f"conservation law holds: {balanced}")
+    stats = result.channel.stats
+    if stats.attempts:
+        print(
+            f"transport: {stats.attempts} attempts, "
+            f"{stats.transient_failures} transient failures, "
+            f"{stats.corrupt_deliveries} corrupt, "
+            f"{stats.duplicate_deliveries} duplicate deliveries, "
+            f"{stats.simulated_backoff_s:.1f}s simulated backoff"
+        )
+
+    print()
+    print("== coverage ==")
+    coverage = result.coverage
+    print(f"overall: {coverage.overall_fraction:.2%} of sensor-days observed")
+    gaps = coverage.gap_months()
+    if gaps:
+        rows = [
+            [
+                month,
+                coverage.months[month].observed_sensor_days,
+                coverage.months[month].total_sensor_days,
+                f"{coverage.months[month].fraction:.1%}",
+            ]
+            for month in gaps
+        ]
+        print(format_table(["gap month", "observed", "scheduled", "frac"], rows))
+    worst = [
+        (hp, frac) for hp, frac in coverage.worst_sensors() if frac < 1.0
+    ]
+    if worst:
+        print(
+            "worst sensors: "
+            + ", ".join(f"{hp} ({frac:.1%})" for hp, frac in worst)
+        )
+    print()
+    print(f"dataset digest: {result.database.digest()}")
+    return 0 if balanced else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
     from repro.reporting.markdown import experiments_markdown
@@ -148,6 +252,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=BENCH_CONFIG.seed)
     report.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
     report.set_defaults(func=cmd_report)
+
+    faults = commands.add_parser(
+        "faults",
+        help="simulate under a fault profile and print the resilience report",
+    )
+    _add_common(faults)
+    faults.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="checkpoint file to write (and resume from)",
+    )
+    faults.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="DAYS",
+        help="checkpoint cadence in simulated days (default 30)",
+    )
+    faults.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint if it exists",
+    )
+    faults.add_argument(
+        "--stop-after", type=date.fromisoformat, default=None, metavar="DATE",
+        help="controlled stop after this simulated day (YYYY-MM-DD)",
+    )
+    faults.set_defaults(func=cmd_faults)
     return parser
 
 

@@ -14,15 +14,23 @@ import dataclasses
 from dataclasses import dataclass, field
 from datetime import date
 
+from repro.faults.plan import (
+    PAPER_OUTAGE_END,
+    PAPER_OUTAGE_START,
+    FaultProfile,
+)
+
 #: First day of the observation window (paper section 3.3).
 WINDOW_START = date(2021, 12, 1)
 #: Last day of the observation window (paper section 3.3).
 WINDOW_END = date(2024, 8, 31)
 
 #: The honeynet maintenance outage: no sessions recorded for 48 hours
-#: on October 8-9, 2023 (paper section 3.3).
-OUTAGE_START = date(2023, 10, 8)
-OUTAGE_END = date(2023, 10, 9)
+#: on October 8-9, 2023 (paper section 3.3).  Kept as module constants
+#: for backward compatibility; the canonical definition lives in
+#: :mod:`repro.faults.plan` and on ``FaultProfile.paper()``.
+OUTAGE_START = PAPER_OUTAGE_START
+OUTAGE_END = PAPER_OUTAGE_END
 
 
 @dataclass(frozen=True)
@@ -45,6 +53,11 @@ class SimulationConfig:
         session_timeout_s: honeypot-side idle timeout (three minutes).
         include_telnet: also simulate the Telnet side of the honeynet
             (the paper records it but analyses only SSH).
+        faults: the fault-injection profile (see :mod:`repro.faults`).
+            The default, ``FaultProfile.paper()``, models exactly the
+            paper's deployment — only the October 2023 outage, no
+            sensor churn, a lossless collection path — and reproduces
+            the pre-fault-model pipeline byte for byte.
     """
 
     seed: int = 7
@@ -56,6 +69,7 @@ class SimulationConfig:
     n_honeypot_ases: int = 65
     session_timeout_s: float = 180.0
     include_telnet: bool = True
+    faults: FaultProfile = field(default_factory=FaultProfile.paper)
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

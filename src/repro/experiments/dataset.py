@@ -31,6 +31,7 @@ from repro.attackers.bots.mdrfckr import MDRFCKR_KEY
 from repro.attackers.bots.named_campaigns import RAPPERBOT_KEY
 from repro.attackers.orchestrator import SimulationResult, run_simulation
 from repro.config import SimulationConfig
+from repro.faults.coverage import CoverageReport, validate_coverage
 from repro.honeypot.session import SessionRecord
 from repro.util.hashing import sha256_hex
 from repro.util.rng import RngTree
@@ -72,6 +73,22 @@ class Dataset:
     @property
     def whois(self):
         return self.simulation.whois
+
+    @property
+    def coverage(self) -> CoverageReport:
+        """Observed-sensor-day coverage under the run's fault plan."""
+        return self.simulation.coverage
+
+    def coverage_notes(self) -> list[str]:
+        """Gap annotations experiments attach to time-series figures.
+
+        Empty under a perfect instrument; under the paper profile it
+        flags October 2023 (the 48-hour outage), and under degraded
+        profiles every month whose sensor-day coverage is incomplete —
+        so a dark month reads as "instrument gap", never "attacks
+        stopped".
+        """
+        return self.coverage.notes()
 
     def file_sessions(self) -> list[SessionRecord]:
         """Sessions in which a payload was loaded (the clustering input).
@@ -132,6 +149,7 @@ def _cache_key(config: SimulationConfig) -> tuple:
         config.end,
         config.n_honeypots,
         config.include_telnet,
+        config.faults,
     )
 
 
@@ -141,6 +159,10 @@ def build_dataset(config: SimulationConfig, use_cache: bool = True) -> Dataset:
     if use_cache and key in _CACHE:
         return _CACHE[key]
     simulation = run_simulation(config)
+    # Refuse to analyse a dataset whose instrument was mostly dark;
+    # every figure downstream assumes the gaps are annotatable, not
+    # dominant.
+    validate_coverage(simulation.coverage)
     storage_ips = [host.ip for host in simulation.infrastructure.hosts]
     abuse = build_abuse_datasets(
         simulation.malware,

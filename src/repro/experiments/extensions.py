@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-import numpy as np
 
 from repro.analysis.classify import CommandClassifier, DEFAULT_CLASSIFIER
 from repro.analysis.clusterselect import cluster_with_selection

@@ -62,6 +62,7 @@ class Fig01StateChange(Experiment):
             f"(paper ratio {PAPER.non_state_sessions / PAPER.state_sessions:.2f}, "
             f"measured {total_stable / max(1, total_changing):.2f})",
         ]
+        notes.extend(dataset.coverage_notes())
         return self.result(
             [
                 "month",

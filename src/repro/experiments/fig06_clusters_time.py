@@ -66,4 +66,5 @@ class Fig06ClustersOverTime(Experiment):
                 f"Mirai-labelled activity in 2024 months: {recent} "
                 "(paper: spring-2024 resurgence)"
             )
+        notes.extend(dataset.coverage_notes())
         return self.result(["month", "file sessions", "top clusters"], rows, notes)

@@ -62,6 +62,7 @@ class Fig09StorageActivity(Experiment):
             f"IPs reappearing after ≥6 months: "
             f"{reappearance_after(observations):.0%} (paper: ~25% on average)",
         ]
+        notes.extend(dataset.coverage_notes())
         return self.result(
             ["recall window", "activity class", "share of IPs"], rows, notes
         )

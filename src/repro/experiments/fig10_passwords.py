@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from collections import Counter
 
 from repro.analysis.logins import (
     FIGURE10_PASSWORDS,
@@ -12,7 +11,7 @@ from repro.analysis.logins import (
 )
 from repro.config import PAPER
 from repro.experiments.base import Experiment, register
-from repro.util.timeutils import epoch_date, from_epoch
+from repro.util.timeutils import from_epoch
 
 
 def _monthly_correlation(per_month, password_a: str, password_b: str) -> float:

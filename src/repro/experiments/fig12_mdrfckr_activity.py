@@ -79,6 +79,7 @@ class Fig12MdrfckrActivity(Experiment):
             "hosts — the most prevalent key "
             f"(paper: >{PAPER.shadowserver_mdrfckr_hosts:,} at full scale)",
         ]
+        notes.extend(dataset.coverage_notes())
         return self.result(
             ["month", "mean sessions/day", "mean IPs/day", "low days"],
             rows,

@@ -54,6 +54,7 @@ class Fig16UniqueCommands(Experiment):
             f"file-missing uniqueness ≥ file-exists in "
             f"{months_where_missing_higher}/{len(months)} months",
         ]
+        notes.extend(dataset.coverage_notes())
         return self.result(
             ["month", "unique cmds (file exists)", "unique cmds (file missing)"],
             rows,

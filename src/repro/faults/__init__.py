@@ -1,0 +1,74 @@
+"""Seeded fault injection and resilience for the collection pipeline.
+
+The paper's 33-month deployment was not a clean instrument: it suffered
+a 48-hour collection outage (section 3.3), sensor-level churn and
+emulation gaps, and every finding had to survive them.  This package
+makes those infrastructure failures a first-class, deterministic part of
+the simulation:
+
+* :mod:`repro.faults.plan` — the fault *plan*: which days the fleet is
+  dark, which sensors are down, and how lossy the collection path is,
+  all derived from the master seed.
+* :mod:`repro.faults.transport` — the resilient honeypot→collector
+  delivery channel (retries with exponential backoff + jitter, a
+  dead-letter queue, idempotent dedup).
+* :mod:`repro.faults.checkpoint` — periodic checkpointing of collector
+  state so a killed run can resume mid-window to an identical dataset.
+* :mod:`repro.faults.coverage` — per-month / per-sensor coverage
+  accounting so degraded datasets are analysed with explicit gap
+  annotations instead of silently misread.
+
+None of these modules import :mod:`repro.config`; the config module
+itself embeds a :class:`~repro.faults.plan.FaultProfile`, so the import
+direction is ``faults → config → everything else``.
+"""
+
+from repro.faults.checkpoint import (
+    CheckpointError,
+    config_fingerprint,
+    load_checkpoint,
+    restore_state,
+    save_checkpoint,
+)
+from repro.faults.coverage import (
+    CoverageError,
+    CoverageReport,
+    build_coverage_report,
+    validate_coverage,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    FaultProfile,
+    OutageWindow,
+    SensorDowntime,
+    TransportFaults,
+    compile_fault_plan,
+)
+from repro.faults.transport import (
+    DirectChannel,
+    ResilientChannel,
+    RetryPolicy,
+    build_channel,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CoverageError",
+    "CoverageReport",
+    "DirectChannel",
+    "FaultPlan",
+    "FaultProfile",
+    "OutageWindow",
+    "ResilientChannel",
+    "RetryPolicy",
+    "SensorDowntime",
+    "TransportFaults",
+    "build_channel",
+    "build_coverage_report",
+    "compile_fault_plan",
+    "config_fingerprint",
+    "load_checkpoint",
+    "restore_state",
+    "save_checkpoint",
+    "validate_coverage",
+]

@@ -1,0 +1,170 @@
+"""Checkpoint/resume for the orchestrator day-loop.
+
+Every mutable piece of simulation state that influences the final
+dataset lives in exactly two places: the collector (stored sessions,
+dead letters, accounting counters) and each honeypot's session counter
+(session ids embed it).  Everything else — populations, bots, fault
+plans, per-day random streams — is a pure function of the master seed
+and the calendar date, so a killed run can be resumed by restoring
+those two pieces and fast-forwarding the day cursor.  The resumed run
+produces a byte-identical dataset digest.
+
+The checkpoint is one JSON document written atomically (temp file +
+rename).  It embeds a fingerprint of the producing configuration;
+loading it under a different configuration fails loudly instead of
+silently mixing incompatible state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.honeypot.session import SessionRecord
+from repro.util.hashing import sha256_hex
+
+# NOTE: repro.honeynet.io is imported inside the (de)serialization
+# functions: importing it at module level would run the repro.honeynet
+# package __init__, which reaches repro.config — and repro.config
+# imports this package to embed FaultProfile.
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import SimulationConfig
+    from repro.honeynet.collector import Collector
+    from repro.honeynet.deployment import Honeynet
+
+#: Format version written into every checkpoint.
+CHECKPOINT_VERSION = 1
+
+#: Counter names serialized from / restored into the collector.
+_COUNTER_KEYS = (
+    "generated",
+    "dropped_outage",
+    "dropped_sensor_down",
+    "retried",
+    "deduplicated",
+    "dead_lettered",
+)
+
+
+class CheckpointError(ValueError):
+    """Raised for malformed, incompatible or mismatched checkpoints."""
+
+
+def config_fingerprint(config: "SimulationConfig") -> str:
+    """A stable digest of every config field that shapes the dataset."""
+    payload = {
+        "seed": config.seed,
+        "scale": config.scale,
+        "start": config.start.isoformat(),
+        "end": config.end.isoformat(),
+        "n_honeypots": config.n_honeypots,
+        "n_countries": config.n_countries,
+        "n_honeypot_ases": config.n_honeypot_ases,
+        "session_timeout_s": config.session_timeout_s,
+        "include_telnet": config.include_telnet,
+        "faults": repr(config.faults),
+    }
+    return sha256_hex(json.dumps(payload, sort_keys=True))
+
+
+@dataclass
+class Checkpoint:
+    """A deserialized mid-window snapshot."""
+
+    fingerprint: str
+    next_day: date
+    honeypot_counters: dict[str, int]
+    counters: dict[str, int]
+    sessions: list[SessionRecord]
+    dead_letters: list[SessionRecord]
+
+
+def save_checkpoint(
+    path: Path | str,
+    config: "SimulationConfig",
+    next_day: date,
+    honeynet: "Honeynet",
+    collector: Collector,
+) -> None:
+    """Atomically write the full resumable state to ``path``.
+
+    ``next_day`` is the first day the resumed loop should simulate.
+    """
+    from repro.honeynet.io import session_to_dict
+
+    document = {
+        "v": CHECKPOINT_VERSION,
+        "fingerprint": config_fingerprint(config),
+        "next_day": next_day.isoformat(),
+        "honeypot_counters": {
+            honeypot.honeypot_id: honeypot._counter
+            for honeypot in honeynet.honeypots
+            if honeypot._counter
+        },
+        "counters": {
+            key: getattr(collector, key) for key in _COUNTER_KEYS
+        },
+        "sessions": [session_to_dict(s) for s in collector.sessions],
+        "dead_letters": [session_to_dict(s) for s in collector.dead_letters],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(json.dumps(document), encoding="utf-8")
+    os.replace(temp, path)
+
+
+def load_checkpoint(path: Path | str, config: "SimulationConfig") -> Checkpoint:
+    """Read and validate a checkpoint written for ``config``."""
+    from repro.honeynet.io import session_from_dict
+
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
+    version = document.get("v")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(f"unsupported checkpoint version: {version!r}")
+    fingerprint = document.get("fingerprint", "")
+    expected = config_fingerprint(config)
+    if fingerprint != expected:
+        raise CheckpointError(
+            "checkpoint was written by a different configuration "
+            f"(fingerprint {fingerprint[:12]}… != expected {expected[:12]}…)"
+        )
+    try:
+        return Checkpoint(
+            fingerprint=fingerprint,
+            next_day=date.fromisoformat(document["next_day"]),
+            honeypot_counters={
+                str(key): int(value)
+                for key, value in document["honeypot_counters"].items()
+            },
+            counters={
+                key: int(document["counters"].get(key, 0))
+                for key in _COUNTER_KEYS
+            },
+            sessions=[session_from_dict(p) for p in document["sessions"]],
+            dead_letters=[
+                session_from_dict(p) for p in document["dead_letters"]
+            ],
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"malformed checkpoint: {error}") from error
+
+
+def restore_state(
+    checkpoint: Checkpoint, honeynet: "Honeynet", collector: Collector
+) -> date:
+    """Apply a checkpoint; returns the first day left to simulate."""
+    collector.restore(
+        checkpoint.sessions, checkpoint.dead_letters, checkpoint.counters
+    )
+    for honeypot_id, counter in checkpoint.honeypot_counters.items():
+        honeynet.by_id(honeypot_id)._counter = counter
+    return checkpoint.next_day

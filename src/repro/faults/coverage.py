@@ -1,0 +1,163 @@
+"""Degraded-mode coverage accounting.
+
+A long-term measurement is only trustworthy if its gaps are explicit.
+:func:`build_coverage_report` turns a compiled fault plan into the
+fraction of sensor-days actually observed, per month and per sensor;
+experiments annotate their figures with the gap months instead of
+silently misreading a dark month as "attacks stopped", and
+:func:`validate_coverage` fails loudly when a profile degrades the
+instrument past usefulness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultPlan
+from repro.util.timeutils import days_between, month_key
+
+
+@dataclass(frozen=True)
+class MonthCoverage:
+    """Observed vs scheduled sensor-days for one calendar month."""
+
+    month: str
+    total_sensor_days: int
+    observed_sensor_days: int
+
+    @property
+    def fraction(self) -> float:
+        if self.total_sensor_days == 0:
+            return 0.0
+        return self.observed_sensor_days / self.total_sensor_days
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Per-month and per-sensor observed-day fractions for one run."""
+
+    months: dict[str, MonthCoverage]
+    #: honeypot id → fraction of window days the sensor was collecting.
+    sensors: dict[str, float]
+
+    @property
+    def overall_fraction(self) -> float:
+        total = sum(m.total_sensor_days for m in self.months.values())
+        observed = sum(m.observed_sensor_days for m in self.months.values())
+        return observed / total if total else 0.0
+
+    def gap_months(self, threshold: float = 0.999) -> list[str]:
+        """Months whose coverage falls below ``threshold`` (sorted)."""
+        return sorted(
+            key
+            for key, month in self.months.items()
+            if month.fraction < threshold
+        )
+
+    def worst_sensors(self, limit: int = 5) -> list[tuple[str, float]]:
+        """The ``limit`` sensors with the lowest coverage, worst first."""
+        ranked = sorted(self.sensors.items(), key=lambda item: item[1])
+        return ranked[:limit]
+
+    def notes(self, threshold: float = 0.97) -> list[str]:
+        """Figure annotations for months with degraded coverage.
+
+        The threshold is looser than :meth:`gap_months`'s default so
+        background sensor churn (a percent or so per month) does not
+        annotate every month — only genuine gaps like fleet outages.
+        """
+        gaps = self.gap_months(threshold)
+        if not gaps:
+            return []
+        parts = ", ".join(
+            f"{month} ({self.months[month].fraction:.1%} sensor-days)"
+            for month in gaps
+        )
+        return [f"coverage gaps: {parts}"]
+
+
+def build_coverage_report(plan: FaultPlan) -> CoverageReport:
+    """Scheduled coverage under ``plan`` (ground truth, not inference).
+
+    A sensor-day is *observed* when the fleet was not in an outage and
+    that sensor was not in a crash window on that day.
+    """
+    n_sensors = len(plan.honeypot_ids)
+    outage_ordinals = {
+        window.start.toordinal() + offset
+        for window in plan.profile.outages
+        for offset in range(window.days)
+    }
+    down_per_day = Counter(ordinal for _, ordinal in plan.sensor_down_days)
+    # Per-sensor down-days, not double-counting days the whole fleet was
+    # dark anyway.
+    down_per_sensor = Counter(
+        honeypot_id
+        for honeypot_id, ordinal in plan.sensor_down_days
+        if ordinal not in outage_ordinals
+    )
+
+    months: dict[str, MonthCoverage] = {}
+    totals: Counter[str] = Counter()
+    observed: Counter[str] = Counter()
+    window_days = 0
+    outage_days = 0
+    for day in days_between(plan.start, plan.end):
+        window_days += 1
+        key = month_key(day)
+        totals[key] += n_sensors
+        ordinal = day.toordinal()
+        if ordinal in outage_ordinals:
+            outage_days += 1
+            continue
+        observed[key] += n_sensors - down_per_day.get(ordinal, 0)
+    for key in sorted(totals):
+        months[key] = MonthCoverage(
+            month=key,
+            total_sensor_days=totals[key],
+            observed_sensor_days=observed.get(key, 0),
+        )
+
+    sensors: dict[str, float] = {}
+    for honeypot_id in plan.honeypot_ids:
+        up_days = window_days - outage_days - down_per_sensor.get(honeypot_id, 0)
+        sensors[honeypot_id] = up_days / window_days if window_days else 0.0
+    return CoverageReport(months=months, sensors=sensors)
+
+
+class CoverageError(ValueError):
+    """Raised when a run's coverage is too degraded to analyse."""
+
+
+def validate_coverage(
+    report: CoverageReport,
+    min_month_fraction: float = 0.1,
+    min_overall_fraction: float = 0.6,
+) -> None:
+    """Fail loudly when coverage drops below the given thresholds.
+
+    The defaults are deliberately permissive: they catch profiles that
+    black out whole stretches of the window (which would invalidate the
+    trend analyses) while letting realistic churn through.
+    """
+    overall = report.overall_fraction
+    if overall < min_overall_fraction:
+        raise CoverageError(
+            f"overall coverage {overall:.1%} is below the "
+            f"{min_overall_fraction:.0%} floor — the dataset is too "
+            "degraded for trend analysis"
+        )
+    bad = [
+        key
+        for key, month in report.months.items()
+        if month.fraction < min_month_fraction
+    ]
+    if bad:
+        listed = ", ".join(
+            f"{key} ({report.months[key].fraction:.1%})" for key in sorted(bad)
+        )
+        raise CoverageError(
+            f"months below the {min_month_fraction:.0%} coverage floor: "
+            f"{listed}"
+        )

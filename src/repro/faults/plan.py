@@ -1,0 +1,285 @@
+"""The fault plan: what breaks, where, and when — all from the seed.
+
+A :class:`FaultProfile` is declarative configuration (it lives on
+:class:`~repro.config.SimulationConfig`); :func:`compile_fault_plan`
+turns it into a concrete :class:`FaultPlan` — per-sensor down-days and
+fleet-wide outage ranges — using streams derived from the master
+:class:`~repro.util.rng.RngTree`, so the same seed always breaks the
+same things on the same days.
+
+This module must not import :mod:`repro.config` (the config module
+imports *us* to embed the profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+from typing import Iterable, Sequence
+
+from repro.util.rng import RngTree, poisson
+
+#: The honeynet maintenance outage: no sessions recorded for 48 hours
+#: on October 8-9, 2023 (paper section 3.3).
+PAPER_OUTAGE_START = date(2023, 10, 8)
+PAPER_OUTAGE_END = date(2023, 10, 9)
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """An interval (inclusive dates) with no data collection."""
+
+    start: date
+    end: date
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError("outage start must not be after end")
+
+    def covers(self, day: date) -> bool:
+        return self.start <= day <= self.end
+
+    def ordinals(self) -> tuple[int, int]:
+        """The window as an inclusive ``(start, end)`` ordinal range."""
+        return (self.start.toordinal(), self.end.toordinal())
+
+    @property
+    def days(self) -> int:
+        return (self.end - self.start).days + 1
+
+
+#: The one outage the paper reports, as a reusable window.
+PAPER_OUTAGE = OutageWindow(PAPER_OUTAGE_START, PAPER_OUTAGE_END)
+
+
+@dataclass(frozen=True)
+class TransportFaults:
+    """Loss model for the honeypot→collector delivery path.
+
+    Each delivery attempt independently fails with
+    ``failure_probability`` (transient ingest failure: the collector was
+    unreachable) or ``corruption_probability`` (the record arrived
+    truncated/corrupt and failed its checksum).  Failed attempts are
+    retried with exponential backoff up to ``max_attempts``; a record
+    that exhausts its attempts is dead-lettered.  After a successful
+    store the sensor may re-transmit the same record
+    (``duplicate_probability`` — a lost ack under at-least-once
+    delivery), which the collector deduplicates by session id.
+    """
+
+    failure_probability: float = 0.0
+    corruption_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    max_attempts: int = 1
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "failure_probability",
+            "corruption_probability",
+            "duplicate_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        if self.failure_probability + self.corruption_probability >= 1.0:
+            raise ValueError("combined attempt-failure probability must be < 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("need 0 <= backoff_base_s <= backoff_cap_s")
+
+    @property
+    def lossless(self) -> bool:
+        """True when the channel can neither fail nor duplicate."""
+        return (
+            self.failure_probability == 0.0
+            and self.corruption_probability == 0.0
+            and self.duplicate_probability == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Declarative fault configuration for one simulation run.
+
+    Attributes:
+        name: label used by the CLI and reports.
+        outages: fleet-wide collection outages (inclusive date windows).
+            Generalizes the hardcoded October 2023 window; the default
+            profile carries exactly that one.
+        crashes_per_sensor_year: expected number of crash/restart events
+            per honeypot per year of observation (Poisson).
+        crash_downtime_mean_days: mean downtime per crash, in days
+            (exponential, rounded up to at least one full day — faults
+            apply at day granularity, like the outage windows).
+        transport: loss model for the collection path.
+    """
+
+    name: str = "paper"
+    outages: tuple[OutageWindow, ...] = (PAPER_OUTAGE,)
+    crashes_per_sensor_year: float = 0.0
+    crash_downtime_mean_days: float = 2.0
+    transport: TransportFaults = field(default_factory=TransportFaults)
+
+    def __post_init__(self) -> None:
+        if self.crashes_per_sensor_year < 0:
+            raise ValueError("crashes_per_sensor_year must be non-negative")
+        if self.crash_downtime_mean_days <= 0:
+            raise ValueError("crash_downtime_mean_days must be positive")
+
+    @property
+    def has_churn(self) -> bool:
+        return self.crashes_per_sensor_year > 0
+
+    @classmethod
+    def none(cls) -> "FaultProfile":
+        """A perfect instrument: no outages, no churn, lossless path."""
+        return cls(name="none", outages=())
+
+    @classmethod
+    def paper(cls) -> "FaultProfile":
+        """Exactly the paper's deployment: the one 48-hour outage.
+
+        This is the default profile; it reproduces the pre-fault-model
+        pipeline byte for byte.
+        """
+        return cls()
+
+    @classmethod
+    def stress(cls) -> "FaultProfile":
+        """A deliberately unreliable deployment for robustness testing.
+
+        Adds a second fleet outage, realistic sensor churn (about two
+        crashes per sensor-year, ~2 days down each) and a lossy
+        collection path with retries.  Aggregate loss stays in the
+        low single-digit percents so the paper's distributional
+        findings must still hold.
+        """
+        return cls(
+            name="stress",
+            outages=(
+                PAPER_OUTAGE,
+                OutageWindow(date(2022, 6, 14), date(2022, 6, 15)),
+            ),
+            crashes_per_sensor_year=2.0,
+            crash_downtime_mean_days=2.0,
+            transport=TransportFaults(
+                failure_probability=0.04,
+                corruption_probability=0.01,
+                duplicate_probability=0.03,
+                max_attempts=4,
+            ),
+        )
+
+    @classmethod
+    def from_name(cls, name: str) -> "FaultProfile":
+        """Resolve a named profile (CLI ``--fault-profile``)."""
+        profiles = {
+            "none": cls.none,
+            "paper": cls.paper,
+            "stress": cls.stress,
+        }
+        try:
+            return profiles[name]()
+        except KeyError:
+            known = ", ".join(sorted(profiles))
+            raise ValueError(
+                f"unknown fault profile {name!r} (known: {known})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SensorDowntime:
+    """One crash/restart window of one honeypot (inclusive dates)."""
+
+    honeypot_id: str
+    start: date
+    end: date
+
+    @property
+    def days(self) -> int:
+        return (self.end - self.start).days + 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A compiled, concrete fault schedule for one run."""
+
+    profile: FaultProfile
+    start: date
+    end: date
+    honeypot_ids: tuple[str, ...]
+    downtimes: tuple[SensorDowntime, ...]
+    #: ``(honeypot_id, day.toordinal())`` pairs on which that sensor
+    #: recorded nothing.  The hot-path membership set for the collector.
+    sensor_down_days: frozenset[tuple[str, int]]
+
+    @property
+    def outage_days(self) -> int:
+        """Fleet-wide dark days that intersect the window."""
+        return sum(
+            1
+            for window in self.profile.outages
+            for offset in range(window.days)
+            if self.start <= window.start + timedelta(days=offset) <= self.end
+        )
+
+    @property
+    def sensor_down_day_count(self) -> int:
+        return len(self.sensor_down_days)
+
+
+def _sensor_downtimes(
+    profile: FaultProfile,
+    honeypot_ids: Sequence[str],
+    start: date,
+    end: date,
+    tree: RngTree,
+) -> list[SensorDowntime]:
+    """Sample every sensor's crash windows from per-sensor streams."""
+    window_days = (end - start).days + 1
+    expected = profile.crashes_per_sensor_year * window_days / 365.25
+    downtimes: list[SensorDowntime] = []
+    for honeypot_id in honeypot_ids:
+        rng = tree.child("churn", honeypot_id).rand()
+        for _ in range(poisson(rng, expected)):
+            first = start + timedelta(days=rng.randrange(window_days))
+            duration = max(
+                1, round(rng.expovariate(1.0 / profile.crash_downtime_mean_days))
+            )
+            last = min(end, first + timedelta(days=duration - 1))
+            downtimes.append(SensorDowntime(honeypot_id, first, last))
+    return downtimes
+
+
+def compile_fault_plan(
+    profile: FaultProfile,
+    honeypot_ids: Iterable[str],
+    start: date,
+    end: date,
+    tree: RngTree,
+) -> FaultPlan:
+    """Turn a profile into the concrete schedule for one run.
+
+    Deterministic: the same ``(profile, honeypot_ids, window, tree)``
+    always yields the same plan, independent of call order elsewhere.
+    """
+    ids = tuple(honeypot_ids)
+    downtimes: list[SensorDowntime] = []
+    if profile.has_churn:
+        downtimes = _sensor_downtimes(profile, ids, start, end, tree)
+    down_days = frozenset(
+        (downtime.honeypot_id, downtime.start.toordinal() + offset)
+        for downtime in downtimes
+        for offset in range(downtime.days)
+    )
+    return FaultPlan(
+        profile=profile,
+        start=start,
+        end=end,
+        honeypot_ids=ids,
+        downtimes=tuple(downtimes),
+        sensor_down_days=down_days,
+    )

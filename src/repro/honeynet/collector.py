@@ -1,54 +1,163 @@
 """Central collector: every closed session is forwarded here.
 
-Models the honeynet's collection pipeline (paper section 3.2) including
-the one 48-hour maintenance outage (October 8-9, 2023) during which no
-sessions were recorded.
+Models the honeynet's collection pipeline (paper section 3.2).  The
+collector is the terminal store of the delivery path: it applies the
+fleet-wide outage windows (the paper's 48-hour October 2023 maintenance
+window by default), drops records from sensors the fault plan has taken
+down, deduplicates at-least-once redeliveries by session id, and keeps
+the dead letters of records the transport could not deliver.
+
+Every record offered to the collection boundary ends in exactly one
+bucket, so the accounting identity
+
+    generated == stored + dropped_outage + dropped_sensor_down
+                 + dead_lettered + deduplicated
+
+holds at all times (:meth:`Collector.accounting_balanced`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from datetime import date
+from typing import Iterable
 
-from repro.config import OUTAGE_END, OUTAGE_START
+from repro.faults.plan import PAPER_OUTAGE, OutageWindow
 from repro.honeypot.session import SessionRecord
-from repro.util.timeutils import epoch_date
+from repro.util.timeutils import epoch_ordinal
 
-
-@dataclass(frozen=True)
-class OutageWindow:
-    """An interval (inclusive dates) with no data collection."""
-
-    start: date
-    end: date
-
-    def covers(self, day: date) -> bool:
-        return self.start <= day <= self.end
+#: Drop reasons understood by :meth:`Collector.record_drop`.
+DROP_OUTAGE = "outage"
+DROP_SENSOR_DOWN = "sensor_down"
 
 
 @dataclass
 class Collector:
     """Accepts session records and applies collection-side effects."""
 
-    outages: tuple[OutageWindow, ...] = (
-        OutageWindow(OUTAGE_START, OUTAGE_END),
-    )
+    outages: tuple[OutageWindow, ...] = (PAPER_OUTAGE,)
+    #: ``(honeypot_id, day ordinal)`` pairs on which the sensor was down
+    #: (from the compiled :class:`~repro.faults.plan.FaultPlan`).
+    sensor_down_days: frozenset[tuple[str, int]] = frozenset()
     sessions: list[SessionRecord] = field(default_factory=list)
-    dropped: int = 0
+    dead_letters: list[SessionRecord] = field(default_factory=list)
+    generated: int = 0
+    dropped_outage: int = 0
+    dropped_sensor_down: int = 0
+    retried: int = 0
+    deduplicated: int = 0
+    dead_lettered: int = 0
+    #: Outage windows precomputed as inclusive ordinal ranges so the
+    #: per-record check is integer comparisons, not date construction.
+    _outage_ordinals: tuple[tuple[int, int], ...] = field(
+        init=False, repr=False, default=()
+    )
+    _seen_ids: set[str] = field(init=False, repr=False, default_factory=set)
 
-    def ingest(self, record: SessionRecord) -> bool:
-        """Store a record; returns False if it fell into an outage."""
-        day = epoch_date(record.start)
-        if any(outage.covers(day) for outage in self.outages):
-            self.dropped += 1
+    def __post_init__(self) -> None:
+        self._outage_ordinals = tuple(
+            window.ordinals() for window in self.outages
+        )
+        self._seen_ids = {record.session_id for record in self.sessions}
+
+    # ------------------------------------------------------------------
+    # delivery primitives (used by the transport channel)
+    # ------------------------------------------------------------------
+    def drop_reason(self, record: SessionRecord) -> str | None:
+        """Why this record cannot be collected right now, if at all."""
+        ordinal = epoch_ordinal(record.start)
+        for start, end in self._outage_ordinals:
+            if start <= ordinal <= end:
+                return DROP_OUTAGE
+        if (record.honeypot_id, ordinal) in self.sensor_down_days:
+            return DROP_SENSOR_DOWN
+        return None
+
+    def record_drop(self, reason: str) -> None:
+        """Account one dropped record under ``reason``."""
+        if reason == DROP_OUTAGE:
+            self.dropped_outage += 1
+        elif reason == DROP_SENSOR_DOWN:
+            self.dropped_sensor_down += 1
+        else:
+            raise ValueError(f"unknown drop reason: {reason!r}")
+
+    def accept(self, record: SessionRecord) -> bool:
+        """Store a delivered record; False if it is a duplicate."""
+        if record.session_id in self._seen_ids:
+            self.deduplicated += 1
             return False
+        self._seen_ids.add(record.session_id)
         self.sessions.append(record)
         return True
 
-    def ingest_many(self, records: list[SessionRecord]) -> int:
-        """Ingest a batch; returns how many were stored."""
+    def dead_letter(self, record: SessionRecord) -> None:
+        """Park a record the transport permanently failed to deliver."""
+        self.dead_letters.append(record)
+        self.dead_lettered += 1
+
+    # ------------------------------------------------------------------
+    # the lossless delivery path (paper profile / direct ingestion)
+    # ------------------------------------------------------------------
+    def ingest(self, record: SessionRecord) -> bool:
+        """Deliver one record losslessly; returns True iff stored."""
+        self.generated += 1
+        reason = self.drop_reason(record)
+        if reason is not None:
+            self.record_drop(reason)
+            return False
+        return self.accept(record)
+
+    def ingest_many(self, records: Iterable[SessionRecord]) -> int:
+        """Ingest a batch (any iterable); returns how many were stored."""
         stored = 0
         for record in records:
             if self.ingest(record):
                 stored += 1
         return stored
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Total records lost to outages or sensor downtime."""
+        return self.dropped_outage + self.dropped_sensor_down
+
+    def accounting(self) -> dict[str, int]:
+        """Every counter plus the stored total, for reports and tests."""
+        return {
+            "generated": self.generated,
+            "stored": len(self.sessions),
+            "dropped_outage": self.dropped_outage,
+            "dropped_sensor_down": self.dropped_sensor_down,
+            "retried": self.retried,
+            "deduplicated": self.deduplicated,
+            "dead_lettered": self.dead_lettered,
+        }
+
+    def accounting_balanced(self) -> bool:
+        """Check the conservation law over the collection boundary."""
+        return self.generated == (
+            len(self.sessions)
+            + self.dropped_outage
+            + self.dropped_sensor_down
+            + self.dead_lettered
+            + self.deduplicated
+        )
+
+    def restore(
+        self,
+        sessions: Iterable[SessionRecord],
+        dead_letters: Iterable[SessionRecord],
+        counters: dict[str, int],
+    ) -> None:
+        """Reset state from a checkpoint (see :mod:`repro.faults.checkpoint`)."""
+        self.sessions = list(sessions)
+        self.dead_letters = list(dead_letters)
+        self._seen_ids = {record.session_id for record in self.sessions}
+        self.generated = counters.get("generated", 0)
+        self.dropped_outage = counters.get("dropped_outage", 0)
+        self.dropped_sensor_down = counters.get("dropped_sensor_down", 0)
+        self.retried = counters.get("retried", 0)
+        self.deduplicated = counters.get("deduplicated", 0)
+        self.dead_lettered = counters.get("dead_lettered", 0)

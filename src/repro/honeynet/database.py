@@ -7,6 +7,8 @@ lazily and cached — the database is append-closed once constructed.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import defaultdict
 from datetime import date
 
@@ -88,6 +90,28 @@ class SessionDatabase:
         return [
             s for s in self.command_sessions() if s.download_hashes()
         ]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of every stored session.
+
+        The digest covers all sessions (both protocols) in database
+        order, so two runs produced the same dataset iff their digests
+        match — the equivalence check behind the fault-model and
+        checkpoint/resume guarantees.
+        """
+        from repro.honeynet.io import session_to_dict
+
+        hasher = hashlib.sha256()
+        for session in self._sessions:
+            hasher.update(
+                json.dumps(
+                    session_to_dict(session),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                ).encode("utf-8")
+            )
+            hasher.update(b"\n")
+        return hasher.hexdigest()
 
     def unique_hashes(self) -> set[str]:
         """All distinct file hashes ever recorded (downloads/writes)."""

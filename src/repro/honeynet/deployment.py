@@ -7,7 +7,7 @@ deterministic under the simulation seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.config import SimulationConfig
 from repro.honeypot.cowrie import CowrieHoneypot
@@ -28,15 +28,19 @@ class Honeynet:
 
     honeypots: list[CowrieHoneypot]
     countries: list[str]
+    _index: dict[str, CowrieHoneypot] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._index = {hp.honeypot_id: hp for hp in self.honeypots}
 
     def __len__(self) -> int:
         return len(self.honeypots)
 
     def by_id(self, honeypot_id: str) -> CowrieHoneypot:
-        for honeypot in self.honeypots:
-            if honeypot.honeypot_id == honeypot_id:
-                return honeypot
-        raise KeyError(honeypot_id)
+        """O(1) lookup of a sensor by its id."""
+        return self._index[honeypot_id]
 
 
 def deploy_honeynet(

@@ -10,7 +10,7 @@ hash whatever the intruder writes or downloads.
 from __future__ import annotations
 
 import posixpath
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.hashing import sha256_hex
 

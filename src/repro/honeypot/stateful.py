@@ -16,7 +16,6 @@ resets (a real deployment would snapshot/rollback on a schedule).
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
 from repro.honeypot.cowrie import CowrieHoneypot

@@ -100,6 +100,19 @@ def epoch_date(timestamp: float) -> date:
     return from_epoch(timestamp).date()
 
 
+#: ``date(1970, 1, 1).toordinal()`` — the POSIX epoch as an ordinal.
+_EPOCH_ORDINAL = date(1970, 1, 1).toordinal()
+
+
+def epoch_ordinal(timestamp: float) -> int:
+    """``epoch_date(timestamp).toordinal()`` without datetime objects.
+
+    The collector calls this once per delivered record; integer floor
+    division is an order of magnitude cheaper than the datetime path.
+    """
+    return _EPOCH_ORDINAL + int(timestamp // 86_400)
+
+
 def quarter_key(day: date) -> str:
     """Return the ``YYYYQn`` quarter key used by Figure 9's x-axis."""
     return f"{day.year:04d}Q{(day.month - 1) // 3 + 1}"

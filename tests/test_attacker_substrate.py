@@ -8,11 +8,7 @@ from datetime import date
 
 import pytest
 
-from repro.attackers.infrastructure import (
-    ARCHETYPE_PLAN,
-    HostArchetype,
-    StorageInfrastructure,
-)
+from repro.attackers.infrastructure import HostArchetype, StorageInfrastructure
 from repro.attackers.ippool import ClientIPPool, SharedPool
 from repro.attackers.malware import MalwareFactory, MalwareFamily
 from repro.config import DEFAULT_CONFIG

@@ -10,15 +10,11 @@ import pytest
 
 from repro.analysis.classify import DEFAULT_CLASSIFIER
 from repro.attackers.base import Bot, BotContext
-from repro.attackers.bots.curl_proxy import CurlMaxredBot, TARGETED_HONEYPOTS
+from repro.attackers.bots.curl_proxy import TARGETED_HONEYPOTS
 from repro.attackers.bots.mdrfckr import (
     C2_INFRASTRUCTURE,
     MDRFCKR_KEY,
     VARIANT_START,
-    Login3245Bot,
-    MdrfckrBase64Bot,
-    MdrfckrBot,
-    MdrfckrVariantBot,
 )
 from repro.attackers.fleetplan import build_fleet, find_bot
 from repro.attackers.labels import COMMANDLESS_BOTS, EXPECTED_CATEGORY

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.base import REGISTRY
 from repro.experiments.runner import load_all_experiments, render_report

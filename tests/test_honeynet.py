@@ -100,6 +100,15 @@ class TestCollector:
         )
         assert stored == 3
 
+    def test_duplicate_session_ids_deduplicated(self):
+        collector = Collector()
+        record = make_session(to_epoch(date(2022, 5, 1)), session_id="dup")
+        assert collector.ingest(record)
+        assert not collector.ingest(record)
+        assert collector.deduplicated == 1
+        assert len(collector.sessions) == 1
+        assert collector.accounting_balanced()
+
 
 class TestSessionDatabase:
     def make_db(self):

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-import pytest
 
 from repro.analysis.classify import DEFAULT_CLASSIFIER
 from repro.analysis.regexrules import UNKNOWN_CATEGORY

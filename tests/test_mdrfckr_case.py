@@ -5,10 +5,7 @@ from __future__ import annotations
 import base64
 from datetime import date, timedelta
 
-import pytest
-
 from repro.analysis.mdrfckr_case import (
-    DecodedScript,
     LowActivityWindow,
     c2_ips_from_cleanups,
     classify_script,
@@ -19,7 +16,7 @@ from repro.analysis.mdrfckr_case import (
     mdrfckr_sessions,
     split_variants,
 )
-from repro.events import DOCUMENTED_EVENTS, ExternalEvent, event_windows
+from repro.events import DOCUMENTED_EVENTS, event_windows
 from repro.honeypot.session import (
     CommandRecord,
     LoginAttempt,

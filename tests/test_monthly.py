@@ -13,7 +13,7 @@ from repro.analysis.monthly import (
     overall_shares,
     top_n_shares,
 )
-from repro.honeypot.session import LoginAttempt, Protocol, SessionRecord
+from repro.honeypot.session import Protocol, SessionRecord
 from repro.util.timeutils import to_epoch
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from collections import Counter
 from datetime import date
 
 import pytest
@@ -158,7 +157,7 @@ class TestExtraBots:
         config = SimulationConfig(
             seed=62, scale=1e-4, start=_date(2022, 7, 1), end=_date(2022, 7, 2)
         )
-        with _pytest.raises(ValueError, match="collide"):
+        with _pytest.raises(ValueError, match=r"collide.*\bmdrfckr\b"):
             run_simulation(
                 config, extra_bots_factory=lambda p, t, c: [Impostor(p, t, c)]
             )

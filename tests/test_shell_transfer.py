@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.honeypot.session import FileOp
 from repro.honeypot.shell.context import ShellContext
 from repro.honeypot.shell.engine import ShellEngine
 from repro.util.hashing import sha256_hex

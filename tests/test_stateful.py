@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.honeypot.cowrie import CowrieHoneypot
 from repro.honeypot.session import ConnectionIntent

@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from collections import Counter
 from datetime import date
 
-import pytest
 
 from repro.analysis.storage import (
     DownloadObservation,
