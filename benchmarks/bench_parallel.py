@@ -1,0 +1,73 @@
+"""Parallel-engine benchmarks: serial vs sharded day-loop, serial vs
+chunked DLD matrix.
+
+These quantify what ``--workers N`` buys.  Speedup depends on core
+count, so no thresholds are asserted here — each bench instead asserts
+the *equivalence* contract (digest / bit-identical matrix), which must
+hold on any machine.  The ``repro bench`` CLI subcommand is the
+headline harness; these keep the comparison visible in the regular
+pytest-benchmark table alongside the per-figure benches.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date
+
+import numpy as np
+
+from repro.analysis.distance import clear_distance_caches, distance_matrix
+from repro.attackers.orchestrator import run_simulation
+from repro.config import SimulationConfig
+
+_BENCH_WINDOW = SimulationConfig(
+    seed=99, scale=1e-4, start=date(2022, 5, 1), end=date(2022, 6, 30)
+)
+
+
+def _token_sequences(count: int) -> list[list[str]]:
+    rng = random.Random(0)
+    vocabulary = ["cd", "/tmp", "wget", "<url>", "chmod", "777", "rm", "-rf"]
+    return [
+        [rng.choice(vocabulary) for _ in range(rng.randrange(4, 48))]
+        for _ in range(count)
+    ]
+
+
+def test_simulation_two_months_serial(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_simulation(_BENCH_WINDOW), rounds=3, iterations=1
+    )
+    assert len(result.database) > 0
+
+
+def test_simulation_two_months_two_workers(benchmark):
+    serial_digest = run_simulation(_BENCH_WINDOW).database.digest()
+    result = benchmark.pedantic(
+        lambda: run_simulation(_BENCH_WINDOW, workers=2), rounds=3, iterations=1
+    )
+    assert result.database.digest() == serial_digest
+
+
+def test_dld_matrix_300_serial(benchmark):
+    tokens = _token_sequences(300)
+
+    def build():
+        clear_distance_caches()
+        return distance_matrix(tokens)
+
+    matrix = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert matrix.shape == (300, 300)
+
+
+def test_dld_matrix_300_two_workers(benchmark):
+    tokens = _token_sequences(300)
+    clear_distance_caches()
+    serial = distance_matrix(tokens)
+
+    def build():
+        clear_distance_caches()
+        return distance_matrix(tokens, workers=2)
+
+    matrix = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert np.array_equal(matrix, serial)

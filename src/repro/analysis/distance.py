@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 
 import numpy as np
 
-from repro.analysis.dld import normalized_dld
+from repro.analysis.dld import damerau_levenshtein, dld_bounds
 from repro.analysis.tokenizer import normalize_tokens, tokenize_session
 from repro.honeypot.session import SessionRecord
 
@@ -16,25 +17,91 @@ from repro.honeypot.session import SessionRecord
 #: dominating runtime while preserving their behavioural prefix.
 MAX_TOKENS_PER_SESSION = 120
 
+#: Distinct (session, cap) entries kept in the tokenization cache.
+#: Sessions are tokenized by several call sites (the clustering, the
+#: tokenizer ablation, Figure 14); caching by session id makes the
+#: work happen once per session, not once per call site.
+TOKEN_CACHE_LIMIT = 250_000
+
+#: Distinct sequence pairs kept in the DLD pair cache.  Figures 5, 6
+#: and 14 plus the ablation experiments measure heavily overlapping
+#: pair sets; the cache collapses those repeats to dictionary lookups.
+PAIR_CACHE_SIZE = 1 << 17
+
+_token_cache: dict[tuple[str, int], list[str]] = {}
+
+
+def clear_distance_caches() -> None:
+    """Drop the tokenization and pair caches (tests and benchmarks)."""
+    _token_cache.clear()
+    _cached_pair_distance.cache_clear()
+
 
 def session_tokens(
     sessions: list[SessionRecord], max_tokens: int = MAX_TOKENS_PER_SESSION
 ) -> list[list[str]]:
-    """Normalized (and length-capped) token sequences, one per session."""
-    return [
-        normalize_tokens(tokenize_session(s))[:max_tokens] for s in sessions
-    ]
+    """Normalized (and length-capped) token sequences, one per session.
+
+    Tokenization is hoisted behind a per-session cache keyed by session
+    id: repeated calls over the same sessions (the clustering and every
+    figure that re-tokenizes its sample) pay the regex pipeline once.
+    The returned lists are shared with the cache — treat them as
+    read-only.
+    """
+    if len(_token_cache) > TOKEN_CACHE_LIMIT:
+        _token_cache.clear()
+    result: list[list[str]] = []
+    for session in sessions:
+        key = (session.session_id, max_tokens)
+        tokens = _token_cache.get(key)
+        if tokens is None:
+            tokens = normalize_tokens(tokenize_session(session))[:max_tokens]
+            _token_cache[key] = tokens
+        result.append(tokens)
+    return result
 
 
-def distance_matrix(token_sequences: list[list[str]]) -> np.ndarray:
+@lru_cache(maxsize=PAIR_CACHE_SIZE)
+def _cached_pair_distance(a: tuple[str, ...], b: tuple[str, ...]) -> float:
+    lower, upper = dld_bounds(a, b)
+    if upper == 0:
+        return 0.0
+    if lower == upper:
+        # The bounds pin the distance (one side is empty): skip the DP.
+        return 1.0
+    return damerau_levenshtein(a, b) / upper
+
+
+def pair_distance(a: tuple[str, ...], b: tuple[str, ...]) -> float:
+    """Normalized DLD between two token tuples, LRU-cached.
+
+    The cache key is order-canonical (DLD is symmetric), identical
+    tuples short-circuit to 0.0, and the length-difference lower bound
+    skips the DP whenever it already equals the upper bound.
+    """
+    if a == b:
+        return 0.0
+    if b < a:
+        a, b = b, a
+    return _cached_pair_distance(a, b)
+
+
+def distance_matrix(
+    token_sequences: list[list[str]], workers: int = 1
+) -> np.ndarray:
     """Symmetric normalized-DLD matrix (zeros on the diagonal).
 
     Identical token sequences are deduplicated internally so the O(n²)
     DLD work only runs once per distinct behaviour — bot traffic is
     heavily repetitive, which makes this the difference between seconds
     and hours at realistic sample sizes.
+
+    ``workers > 1`` evaluates the deduplicated upper triangle in chunks
+    on a process pool (:mod:`repro.parallel.distance`); every pair is
+    the same pure function either way, so the matrix is identical at
+    any worker count.  Tiny inputs fall back to serial — the pool costs
+    more than the DP below a few hundred pairs.
     """
-    n = len(token_sequences)
     keys = [tuple(seq) for seq in token_sequences]
     distinct: list[tuple[str, ...]] = []
     index_of: dict[tuple[str, ...], int] = {}
@@ -43,10 +110,21 @@ def distance_matrix(token_sequences: list[list[str]]) -> np.ndarray:
             index_of[key] = len(distinct)
             distinct.append(key)
     m = len(distinct)
+    total_pairs = m * (m - 1) // 2
+    if workers > 1:
+        from repro.parallel.distance import (
+            MIN_PAIRS_FOR_POOL,
+            compact_distance_matrix_parallel,
+        )
+
+        if total_pairs >= MIN_PAIRS_FOR_POOL:
+            compact = compact_distance_matrix_parallel(distinct, workers)
+            mapping = np.array([index_of[key] for key in keys])
+            return compact[np.ix_(mapping, mapping)]
     compact = np.zeros((m, m), dtype=np.float64)
     for i in range(m):
         for j in range(i + 1, m):
-            value = normalized_dld(distinct[i], distinct[j])
+            value = pair_distance(distinct[i], distinct[j])
             compact[i, j] = value
             compact[j, i] = value
     mapping = np.array([index_of[key] for key in keys])

@@ -10,6 +10,22 @@ from __future__ import annotations
 from typing import Sequence
 
 
+def dld_bounds(a: Sequence[str], b: Sequence[str]) -> tuple[int, int]:
+    """Cheap ``(lower, upper)`` bounds on the token-level DLD.
+
+    Every edit changes the length by at most one and no alignment needs
+    more edits than replacing the shorter sequence wholesale, so
+
+        ``|len(a) - len(b)|  <=  DLD(a, b)  <=  max(len(a), len(b))``.
+
+    When the bounds coincide (one sequence is empty) the distance is
+    pinned without running the O(len²) DP — the early exit the pairwise
+    matrix uses.
+    """
+    len_a, len_b = len(a), len(b)
+    return abs(len_a - len_b), max(len_a, len_b)
+
+
 def damerau_levenshtein(a: Sequence[str], b: Sequence[str]) -> int:
     """Token-level DLD (substitution, insertion, deletion, transposition)."""
     len_a, len_b = len(a), len(b)

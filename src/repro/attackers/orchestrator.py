@@ -11,6 +11,12 @@ stream is keyed by ``(bot, date)`` paths rather than shared generator
 state, the only mutable state a resumed run must restore is the
 collector and each honeypot's session counter — see
 :mod:`repro.faults.checkpoint`.
+
+That same per-day purity is what lets :mod:`repro.parallel` shard the
+window across processes: :func:`simulate_day` (the one inner loop, used
+by the serial path and by every shard worker) and :func:`count_day`
+(its rng-aligned counting twin) are defined here so the two execution
+engines can never drift apart.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import time
 from dataclasses import dataclass
 from datetime import date, timedelta
 from pathlib import Path
+from typing import Callable
 
 from repro.attackers.base import Bot, BotContext
 from repro.attackers.fleetplan import build_fleet
@@ -41,6 +48,7 @@ from repro.faults.transport import (
 from repro.honeynet.collector import Collector
 from repro.honeynet.database import SessionDatabase
 from repro.honeynet.deployment import Honeynet, deploy_honeynet
+from repro.honeypot.session import SessionRecord
 from repro.net.population import BasePopulation, build_base_population
 from repro.net.whois import HistoricalWhois
 from repro.util.rng import RngTree
@@ -90,30 +98,67 @@ def _check_bot_names(bots: list[Bot]) -> None:
         )
 
 
-def run_simulation(
-    config: SimulationConfig,
-    extra_bots_factory=None,
-    *,
-    checkpoint_path: Path | str | None = None,
-    checkpoint_every_days: int | None = None,
-    resume: bool = False,
-    stop_after: date | None = None,
-) -> SimulationResult:
-    """Generate the full synthetic dataset for ``config``.
+@dataclass
+class SimulationSubstrate:
+    """Everything the day-loop needs, built as a pure function of config.
 
-    ``extra_bots_factory(population, tree, config)`` may return
-    additional :class:`~repro.attackers.base.Bot` instances to run
-    alongside the paper's roster — the extension point for studying new
-    attacker behaviours against the same honeynet.
+    The substrate carries no day-loop progress: populations, bots and
+    the fault plan are all derived from the master seed, so any process
+    can rebuild an identical substrate from the config alone.  The only
+    mutable members are each honeypot's session counter (inside
+    ``honeynet``) — shard workers preset those before simulating.
+    """
 
-    Checkpointing: with ``checkpoint_path`` set, collector state and the
-    day cursor are saved every ``checkpoint_every_days`` simulated days
-    (atomic overwrite).  ``resume=True`` restores that state and
-    continues from the saved cursor; a missing checkpoint file simply
-    starts from scratch.  ``stop_after`` ends the loop after the given
-    day (checkpointing first, when enabled), modelling a controlled
-    shutdown mid-window; the returned result then covers only the
-    simulated prefix.
+    config: SimulationConfig
+    tree: RngTree
+    population: BasePopulation
+    infrastructure: StorageInfrastructure
+    malware: MalwareFactory
+    honeynet: Honeynet
+    context: BotContext
+    bots: list[Bot]
+    plan: FaultPlan
+    coverage: CoverageReport
+
+    def fresh_collector(self) -> Collector:
+        """A new empty collector wired to this run's fault plan."""
+        return Collector(
+            outages=self.config.faults.outages,
+            sensor_down_days=self.plan.sensor_down_days,
+        )
+
+    def fresh_channel(
+        self, collector: Collector
+    ) -> DirectChannel | ResilientChannel:
+        """A new delivery channel for ``collector`` (per-record rng)."""
+        return build_channel(
+            collector,
+            self.config.faults.transport,
+            self.tree.child("faults", "transport"),
+        )
+
+    def honeypot_counters(self) -> dict[str, int]:
+        """Current per-honeypot session counters (non-zero only)."""
+        return {
+            honeypot.honeypot_id: honeypot._counter
+            for honeypot in self.honeynet.honeypots
+            if honeypot._counter
+        }
+
+    def set_honeypot_counters(self, counters: dict[str, int]) -> None:
+        """Preset every honeypot's session counter (absent ids → 0)."""
+        for honeypot in self.honeynet.honeypots:
+            honeypot._counter = counters.get(honeypot.honeypot_id, 0)
+
+
+def build_substrate(
+    config: SimulationConfig, extra_bots_factory=None
+) -> SimulationSubstrate:
+    """Build the full pre-day-loop state for ``config``.
+
+    Deterministic: every piece is derived from path-keyed rng streams,
+    so a substrate built in a worker process is identical to one built
+    in the parent.
     """
     tree = RngTree(config.seed)
     population = build_base_population(
@@ -135,7 +180,6 @@ def run_simulation(
             extra_bots_factory(population, tree.child("extra"), config)
         )
         _check_bot_names(bots)
-
     plan = compile_fault_plan(
         config.faults,
         (honeypot.honeypot_id for honeypot in honeynet.honeypots),
@@ -143,15 +187,171 @@ def run_simulation(
         config.end,
         tree.child("faults"),
     )
-    coverage = build_coverage_report(plan)
-    collector = Collector(
-        outages=config.faults.outages,
-        sensor_down_days=plan.sensor_down_days,
+    return SimulationSubstrate(
+        config=config,
+        tree=tree,
+        population=population,
+        infrastructure=infrastructure,
+        malware=malware,
+        honeynet=honeynet,
+        context=context,
+        bots=bots,
+        plan=plan,
+        coverage=build_coverage_report(plan),
     )
-    channel = build_channel(
-        collector, config.faults.transport, tree.child("faults", "transport")
+
+
+def simulate_day(
+    substrate: SimulationSubstrate,
+    day: date,
+    deliver: Callable[[SessionRecord], bool],
+) -> None:
+    """Simulate one calendar day, delivering every produced record.
+
+    This is *the* inner loop: the serial engine and every parallel
+    shard worker call this exact function, so the record stream for a
+    given day is identical no matter which process produces it.
+    """
+    config = substrate.config
+    honeypots = substrate.honeynet.honeypots
+    fleet_size = len(honeypots)
+    context = substrate.context
+    for bot in substrate.bots:
+        intents = bot.sessions_for_day(context, day)
+        if not intents:
+            continue
+        route_rng = context.tree.child(
+            "route", bot.name, day.toordinal()
+        ).rand()
+        for intent in intents:
+            honeypot = honeypots[
+                bot.choose_honeypot_index(route_rng, fleet_size)
+            ]
+            if not config.include_telnet and intent.protocol.value == "telnet":
+                continue
+            when = to_epoch(day, bot.start_seconds(route_rng, day))
+            record = honeypot.handle(intent, when)
+            deliver(record)
+
+
+def count_day(
+    substrate: SimulationSubstrate, day: date, counts: dict[str, int]
+) -> None:
+    """Count per-honeypot arrivals for ``day`` without handling them.
+
+    The rng-aligned twin of :func:`simulate_day`: it draws the same
+    intent and routing streams (``choose_honeypot_index`` and
+    ``start_seconds`` consume the route rng exactly as the real loop
+    does) but skips the honeypot shell and delivery.  The counts are
+    exactly the session-counter increments the real loop would apply —
+    the parallel engine uses prefix sums of these to preset each
+    shard's honeypot counters.
+    """
+    config = substrate.config
+    honeypots = substrate.honeynet.honeypots
+    fleet_size = len(honeypots)
+    context = substrate.context
+    for bot in substrate.bots:
+        intents = bot.sessions_for_day(context, day)
+        if not intents:
+            continue
+        route_rng = context.tree.child(
+            "route", bot.name, day.toordinal()
+        ).rand()
+        for intent in intents:
+            index = bot.choose_honeypot_index(route_rng, fleet_size)
+            if not config.include_telnet and intent.protocol.value == "telnet":
+                continue
+            bot.start_seconds(route_rng, day)  # keep the stream aligned
+            honeypot_id = honeypots[index].honeypot_id
+            counts[honeypot_id] = counts.get(honeypot_id, 0) + 1
+
+
+def _finish_result(
+    substrate: SimulationSubstrate,
+    collector: Collector,
+    channel: DirectChannel | ResilientChannel,
+    started: float,
+) -> SimulationResult:
+    """Wrap the collected sessions into the public result object."""
+    database = SessionDatabase(collector.sessions)
+    logger.info(
+        "simulation finished: %d sessions (%d dropped in outages/downtime, "
+        "%d dead-lettered) in %.1fs",
+        len(database), collector.dropped, collector.dead_lettered,
+        time.monotonic() - started,
     )
+    return SimulationResult(
+        config=substrate.config,
+        population=substrate.population,
+        infrastructure=substrate.infrastructure,
+        malware=substrate.malware,
+        honeynet=substrate.honeynet,
+        collector=collector,
+        database=database,
+        bots=substrate.bots,
+        whois=HistoricalWhois(substrate.population.registry),
+        plan=substrate.plan,
+        coverage=substrate.coverage,
+        channel=channel,
+    )
+
+
+def run_simulation(
+    config: SimulationConfig,
+    extra_bots_factory=None,
+    *,
+    checkpoint_path: Path | str | None = None,
+    checkpoint_every_days: int | None = None,
+    resume: bool = False,
+    stop_after: date | None = None,
+    workers: int | None = None,
+) -> SimulationResult:
+    """Generate the full synthetic dataset for ``config``.
+
+    ``extra_bots_factory(population, tree, config)`` may return
+    additional :class:`~repro.attackers.base.Bot` instances to run
+    alongside the paper's roster — the extension point for studying new
+    attacker behaviours against the same honeynet.
+
+    Checkpointing: with ``checkpoint_path`` set, collector state and the
+    day cursor are saved every ``checkpoint_every_days`` simulated days
+    (atomic overwrite).  ``resume=True`` restores that state and
+    continues from the saved cursor; a missing checkpoint file simply
+    starts from scratch.  ``stop_after`` ends the loop after the given
+    day (checkpointing first, when enabled), modelling a controlled
+    shutdown mid-window; the returned result then covers only the
+    simulated prefix.
+
+    ``workers`` (default ``config.workers``) selects the execution
+    engine: ``1`` runs the serial day-loop below; ``N > 1`` shards the
+    window across ``N`` processes via :mod:`repro.parallel` and merges
+    a digest-identical result.  ``extra_bots_factory`` must then be
+    picklable (a module-level function), since workers rebuild the
+    fleet themselves.
+    """
+    if workers is None:
+        workers = config.workers
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if workers > 1:
+        from repro.parallel.engine import run_simulation_parallel
+
+        return run_simulation_parallel(
+            config,
+            extra_bots_factory,
+            workers=workers,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every_days=checkpoint_every_days,
+            resume=resume,
+            stop_after=stop_after,
+        )
+
+    substrate = build_substrate(config, extra_bots_factory)
+    collector = substrate.fresh_collector()
+    channel = substrate.fresh_channel(collector)
     deliver = channel.deliver
+    honeynet = substrate.honeynet
 
     first_day = config.start
     if resume:
@@ -171,13 +371,12 @@ def run_simulation(
     if checkpoint_path is not None and checkpoint_every_days is None:
         checkpoint_every_days = DEFAULT_CHECKPOINT_EVERY_DAYS
 
-    fleet_size = len(honeynet.honeypots)
     started = time.monotonic()
     logger.info(
         "simulating %s..%s at scale=%g with %d bots on %d honeypots "
         "(fault profile: %s)",
-        first_day, config.end, config.scale, len(bots), fleet_size,
-        config.faults.name,
+        first_day, config.end, config.scale, len(substrate.bots),
+        len(honeynet.honeypots), config.faults.name,
     )
 
     current_month: str | None = None
@@ -196,22 +395,7 @@ def run_simulation(
                     current_month, len(collector.sessions),
                 )
             current_month = month
-        for bot in bots:
-            intents = bot.sessions_for_day(context, day)
-            if not intents:
-                continue
-            route_rng = context.tree.child(
-                "route", bot.name, day.toordinal()
-            ).rand()
-            for intent in intents:
-                honeypot = honeynet.honeypots[
-                    bot.choose_honeypot_index(route_rng, fleet_size)
-                ]
-                if not config.include_telnet and intent.protocol.value == "telnet":
-                    continue
-                when = to_epoch(day, bot.start_seconds(route_rng, day))
-                record = honeypot.handle(intent, when)
-                deliver(record)
+        simulate_day(substrate, day, deliver)
         days_done += 1
         stopping = stop_after is not None and day >= stop_after
         if checkpoint_path is not None and (
@@ -226,24 +410,4 @@ def run_simulation(
             logger.info("controlled stop after %s", day)
             break
 
-    database = SessionDatabase(collector.sessions)
-    logger.info(
-        "simulation finished: %d sessions (%d dropped in outages/downtime, "
-        "%d dead-lettered) in %.1fs",
-        len(database), collector.dropped, collector.dead_lettered,
-        time.monotonic() - started,
-    )
-    return SimulationResult(
-        config=config,
-        population=population,
-        infrastructure=infrastructure,
-        malware=malware,
-        honeynet=honeynet,
-        collector=collector,
-        database=database,
-        bots=bots,
-        whois=HistoricalWhois(population.registry),
-        plan=plan,
-        coverage=coverage,
-        channel=channel,
-    )
+    return _finish_result(substrate, collector, channel, started)

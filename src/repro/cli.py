@@ -8,9 +8,13 @@ Subcommands:
 * ``report``      — regenerate the EXPERIMENTS.md comparison document.
 * ``faults``      — simulate under a fault profile and print the
   resilience report (fault plan, collector accounting, coverage).
+* ``bench``       — time the serial vs parallel engines (day-loop and
+  DLD matrix) and optionally record the numbers as JSON.
 
 Every subcommand accepts ``--fault-profile {none,paper,stress}``; the
 default ``paper`` models exactly the deployment the paper describes.
+``--workers N`` switches every stage that supports it to the parallel
+engine (see docs/parallelism.md); the output is identical at any N.
 """
 
 from __future__ import annotations
@@ -36,6 +40,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="paper",
         help="fault-injection profile (see docs/fault-model.md)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_CONFIG.workers,
+        help="worker processes for the parallel engine (1 = serial; "
+        "see docs/parallelism.md)",
+    )
 
 
 def _config(args: argparse.Namespace) -> SimulationConfig:
@@ -43,6 +54,7 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
         scale=args.scale,
         seed=args.seed,
         faults=FaultProfile.from_name(getattr(args, "fault_profile", "paper")),
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -205,6 +217,112 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if balanced else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time serial vs N-worker execution of both parallel stages.
+
+    Records wall-clock for the simulation day-loop and for the DLD
+    distance matrix, serial vs ``--workers`` processes, and verifies
+    digest/bit equality between the two runs while at it.  With
+    ``--json PATH`` the numbers land in a machine-readable file (CI
+    runs this once as a smoke test, without thresholds).
+    """
+    import json
+    import os
+    import time
+
+    import numpy as np
+
+    from repro.analysis.distance import (
+        clear_distance_caches,
+        distance_matrix,
+        sample_sessions,
+        session_tokens,
+    )
+    from repro.attackers.orchestrator import run_simulation
+
+    workers = max(2, args.workers)
+    config = _config(args).replace(workers=1)
+
+    def best_of(fn, repeat):
+        elapsed = []
+        value = None
+        for _ in range(repeat):
+            started = time.perf_counter()
+            value = fn()
+            elapsed.append(time.perf_counter() - started)
+        return value, min(elapsed)
+
+    serial_result, serial_day_s = best_of(
+        lambda: run_simulation(config), args.repeat
+    )
+    parallel_result, parallel_day_s = best_of(
+        lambda: run_simulation(config, workers=workers), args.repeat
+    )
+    digest_match = (
+        serial_result.database.digest() == parallel_result.database.digest()
+    )
+
+    sessions = sample_sessions(
+        serial_result.database.command_sessions(),
+        args.dld_sample,
+        seed=config.seed,
+    )
+    clear_distance_caches()
+    tokens = session_tokens(sessions)
+    distinct = len({tuple(sequence) for sequence in tokens})
+
+    def timed_matrix(n_workers):
+        def build():
+            clear_distance_caches()
+            return distance_matrix(tokens, workers=n_workers)
+
+        return best_of(build, args.repeat)
+
+    serial_matrix, serial_dld_s = timed_matrix(1)
+    parallel_matrix, parallel_dld_s = timed_matrix(workers)
+    matrix_match = bool(np.array_equal(serial_matrix, parallel_matrix))
+
+    report = {
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "scale": config.scale,
+        "seed": config.seed,
+        "fault_profile": config.faults.name,
+        "repeat": args.repeat,
+        "sessions": len(serial_result.database),
+        "day_loop": {
+            "serial_s": round(serial_day_s, 4),
+            "parallel_s": round(parallel_day_s, 4),
+            "speedup": round(serial_day_s / parallel_day_s, 3),
+            "digest_match": digest_match,
+        },
+        "dld_matrix": {
+            "sequences": len(tokens),
+            "distinct_sequences": distinct,
+            "pairs": distinct * (distinct - 1) // 2,
+            "serial_s": round(serial_dld_s, 4),
+            "parallel_s": round(parallel_dld_s, 4),
+            "speedup": round(serial_dld_s / parallel_dld_s, 3),
+            "matrix_match": matrix_match,
+        },
+    }
+    print(f"== bench: serial vs {workers} workers ==")
+    print(
+        f"day-loop:   {serial_day_s:.3f}s -> {parallel_day_s:.3f}s "
+        f"({report['day_loop']['speedup']:.2f}x, digest match: {digest_match})"
+    )
+    print(
+        f"DLD matrix: {serial_dld_s:.3f}s -> {parallel_dld_s:.3f}s "
+        f"({report['dld_matrix']['speedup']:.2f}x, "
+        f"{report['dld_matrix']['pairs']} pairs, "
+        f"bit-identical: {matrix_match})"
+    )
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if digest_match and matrix_match else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
     from repro.reporting.markdown import experiments_markdown
@@ -250,8 +368,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--scale", type=float, default=BENCH_CONFIG.scale)
     report.add_argument("--seed", type=int, default=BENCH_CONFIG.seed)
+    report.add_argument(
+        "--workers", type=int, default=DEFAULT_CONFIG.workers,
+        help="worker processes for the parallel engine (1 = serial)",
+    )
     report.add_argument("--out", type=Path, default=Path("EXPERIMENTS.md"))
     report.set_defaults(func=cmd_report)
+
+    bench = commands.add_parser(
+        "bench",
+        help="time serial vs parallel engines (day-loop + DLD matrix)",
+    )
+    _add_common(bench)
+    bench.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the timing report as JSON (e.g. BENCH_parallel.json)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="iterations per timing (best-of; CI smoke uses 1)",
+    )
+    bench.add_argument(
+        "--dld-sample", type=int, default=400, metavar="N",
+        help="command sessions sampled for the DLD matrix timing",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     faults = commands.add_parser(
         "faults",

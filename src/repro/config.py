@@ -58,6 +58,15 @@ class SimulationConfig:
             paper's deployment — only the October 2023 outage, no
             sensor churn, a lossless collection path — and reproduces
             the pre-fault-model pipeline byte for byte.
+        workers: process count for the parallel execution engine
+            (:mod:`repro.parallel`).  ``1`` (the default) runs the
+            original serial day-loop and serial DLD matrix; ``N > 1``
+            shards the simulated window across ``N`` worker processes
+            and chunks the O(n²) distance matrix over the same pool.
+            The output is digest-identical at every worker count, so
+            this knob trades wall-clock for cores, never correctness —
+            it is deliberately excluded from checkpoint fingerprints
+            and dataset cache keys.
     """
 
     seed: int = 7
@@ -70,6 +79,7 @@ class SimulationConfig:
     session_timeout_s: float = 180.0
     include_telnet: bool = True
     faults: FaultProfile = field(default_factory=FaultProfile.paper)
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -78,6 +88,8 @@ class SimulationConfig:
             raise ValueError("start must not be after end")
         if self.n_honeypots < 1:
             raise ValueError("need at least one honeypot")
+        if self.workers < 1:
+            raise ValueError(f"workers must be at least 1, got {self.workers}")
 
     def scaled(self, paper_count: float) -> float:
         """Return ``paper_count`` scaled to this configuration."""

@@ -119,7 +119,7 @@ class Dataset:
                 self.file_sessions(), sample_limit, seed=self.config.seed
             )
             tokens = session_tokens(sessions)
-            matrix = distance_matrix(tokens)
+            matrix = distance_matrix(tokens, workers=self.config.workers)
             result, selection = cluster_with_selection(
                 matrix, seed=self.config.seed
             )

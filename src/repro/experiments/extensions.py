@@ -125,7 +125,7 @@ class ExtAblationTokenizer(Experiment):
             ),
         ):
             distinct = len({tuple(t) for t in tokens})
-            matrix = distance_matrix(tokens)
+            matrix = distance_matrix(tokens, workers=dataset.config.workers)
             result, selection = cluster_with_selection(
                 matrix, seed=dataset.config.seed
             )

@@ -79,10 +79,16 @@ def main() -> None:
     parser.add_argument("--scale", type=float, default=DEFAULT_CONFIG.scale)
     parser.add_argument("--seed", type=int, default=DEFAULT_CONFIG.seed)
     parser.add_argument(
+        "--workers", type=int, default=DEFAULT_CONFIG.workers,
+        help="worker processes for the parallel engine (1 = serial)",
+    )
+    parser.add_argument(
         "--only", nargs="*", default=None, help="experiment ids to run"
     )
     args = parser.parse_args()
-    config = SimulationConfig(scale=args.scale, seed=args.seed)
+    config = SimulationConfig(
+        scale=args.scale, seed=args.seed, workers=args.workers
+    )
     load_all_experiments()
     dataset = build_dataset(config)
     ids = args.only or list(REGISTRY)

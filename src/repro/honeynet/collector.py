@@ -145,6 +145,31 @@ class Collector:
             + self.deduplicated
         )
 
+    def absorb(
+        self,
+        sessions: Iterable[SessionRecord],
+        dead_letters: Iterable[SessionRecord],
+        counters: dict[str, int],
+    ) -> None:
+        """Merge one shard-local collector's state into this one.
+
+        Used by :mod:`repro.parallel.engine`: shard collectors are
+        merged in shard (chronological) order, so appending reproduces
+        the serial ingestion order and summing the counters reproduces
+        the serial accounting — every per-record effect (drop, dedup,
+        dead-letter) already happened inside the shard.
+        """
+        for record in sessions:
+            self._seen_ids.add(record.session_id)
+            self.sessions.append(record)
+        self.dead_letters.extend(dead_letters)
+        self.generated += counters.get("generated", 0)
+        self.dropped_outage += counters.get("dropped_outage", 0)
+        self.dropped_sensor_down += counters.get("dropped_sensor_down", 0)
+        self.retried += counters.get("retried", 0)
+        self.deduplicated += counters.get("deduplicated", 0)
+        self.dead_lettered += counters.get("dead_lettered", 0)
+
     def restore(
         self,
         sessions: Iterable[SessionRecord],

@@ -1,0 +1,122 @@
+"""Chunked, multiprocessing-backed pairwise DLD computation.
+
+The clustering pipeline needs the full symmetric normalized-DLD matrix
+over the *distinct* token sequences — m·(m-1)/2 independent pair
+computations, each a pure function of its two sequences.  This module
+linearizes the upper triangle into one index space, slices it into
+balanced chunks, and evaluates the chunks on a process pool.  Because
+every pair is computed by the same pure function the serial path uses
+(:func:`repro.analysis.distance.pair_distance`), the assembled matrix
+is identical to the serial one, bit for bit.
+
+Workers receive the distinct sequences once (via the pool initializer),
+not per chunk, so the IPC cost is O(m + chunks), not O(pairs).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+#: Pairs below this threshold are not worth a process pool: the fork +
+#: pickle overhead exceeds the DP work.  Callers fall back to serial.
+MIN_PAIRS_FOR_POOL = 256
+
+#: Chunks per worker: more chunks smooth the skew between cheap pairs
+#: (short scout sequences) and expensive ones (long loader chains).
+CHUNKS_PER_WORKER = 4
+
+_SEQUENCES: list[tuple[str, ...]] | None = None
+_ROW_OFFSETS: list[int] | None = None
+
+
+def row_offsets(m: int) -> list[int]:
+    """Linear index of the first pair of each row of the upper triangle.
+
+    Row ``i`` holds the pairs ``(i, i+1) .. (i, m-1)``; its first pair
+    has linear index ``offsets[i]``.  A trailing sentinel equal to the
+    total pair count makes bisection safe for the last row.
+    """
+    offsets = [0] * (m + 1)
+    for i in range(m):
+        offsets[i + 1] = offsets[i] + (m - 1 - i)
+    return offsets
+
+
+def pair_at(k: int, offsets: list[int]) -> tuple[int, int]:
+    """Map a linear upper-triangle index back to its ``(i, j)`` pair."""
+    i = bisect_right(offsets, k) - 1
+    return i, i + 1 + (k - offsets[i])
+
+
+def _init_pool(sequences: list[tuple[str, ...]]) -> None:
+    global _SEQUENCES, _ROW_OFFSETS
+    _SEQUENCES = sequences
+    _ROW_OFFSETS = row_offsets(len(sequences))
+
+
+def _distance_chunk(span: tuple[int, int]) -> tuple[int, list[float]]:
+    """Compute normalized DLD for one linear range of pairs."""
+    from repro.analysis.distance import pair_distance
+
+    start, stop = span
+    sequences = _SEQUENCES
+    offsets = _ROW_OFFSETS
+    i, j = pair_at(start, offsets)
+    m = len(sequences)
+    values: list[float] = []
+    for _ in range(stop - start):
+        values.append(pair_distance(sequences[i], sequences[j]))
+        j += 1
+        if j == m:
+            i += 1
+            j = i + 1
+    return start, values
+
+
+def chunk_spans(total_pairs: int, chunk_count: int) -> list[tuple[int, int]]:
+    """Slice ``range(total_pairs)`` into at most ``chunk_count`` spans."""
+    if total_pairs <= 0:
+        return []
+    chunk_count = max(1, min(chunk_count, total_pairs))
+    base, extra = divmod(total_pairs, chunk_count)
+    spans: list[tuple[int, int]] = []
+    cursor = 0
+    for index in range(chunk_count):
+        length = base + (1 if index < extra else 0)
+        spans.append((cursor, cursor + length))
+        cursor += length
+    return spans
+
+
+def compact_distance_matrix_parallel(
+    distinct: list[tuple[str, ...]], workers: int
+) -> np.ndarray:
+    """The m×m compact matrix over distinct sequences, chunked over a pool."""
+    from repro.parallel.engine import pool_context
+
+    m = len(distinct)
+    total_pairs = m * (m - 1) // 2
+    compact = np.zeros((m, m), dtype=np.float64)
+    if total_pairs == 0:
+        return compact
+    offsets = row_offsets(m)
+    spans = chunk_spans(total_pairs, workers * CHUNKS_PER_WORKER)
+    flat = np.zeros(total_pairs, dtype=np.float64)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=pool_context(),
+        initializer=_init_pool,
+        initargs=(distinct,),
+    ) as pool:
+        for start, values in pool.map(_distance_chunk, spans):
+            flat[start : start + len(values)] = values
+    cursor = 0
+    for i in range(m):
+        row = flat[offsets[i] : offsets[i + 1]]
+        compact[i, i + 1 :] = row
+        compact[i + 1 :, i] = row
+        cursor += len(row)
+    return compact

@@ -1,0 +1,300 @@
+"""Sharded, digest-identical execution of the simulation day-loop.
+
+The serial orchestrator walks the window one day at a time; this engine
+partitions the same window into contiguous shards
+(:mod:`repro.parallel.shards`) and simulates them on a
+``ProcessPoolExecutor``.  Equivalence rests on three properties the
+codebase already guarantees:
+
+* **Per-day purity** — every random stream a day consumes is keyed by
+  ``(component, bot, date)`` paths under the master seed (the property
+  checkpoint/resume relies on), so a worker that rebuilds the substrate
+  from the config produces the same records for its days as the serial
+  loop would.
+* **Session-counter offsets** — the one piece of cross-day state is
+  each honeypot's session counter (session ids embed it).  A cheap
+  counting pass (:func:`repro.attackers.orchestrator.count_day`, which
+  draws the same intent/routing streams but skips the honeypot shell)
+  yields per-shard per-honeypot arrival counts; prefix sums preset each
+  shard's counters to exactly the values the serial loop would have
+  reached.
+* **Order-independent delivery** — transport faults are keyed by
+  session id and collector accounting is a sum of per-record effects,
+  so shard-local collectors merged in shard order reproduce the serial
+  collector byte for byte (:meth:`repro.honeynet.collector.Collector.absorb`).
+
+Checkpoints are written at shard boundaries with the same format as the
+serial engine, so serial and parallel runs can resume each other's
+checkpoints interchangeably.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from datetime import date
+from pathlib import Path
+
+from repro.attackers.orchestrator import (
+    DEFAULT_CHECKPOINT_EVERY_DAYS,
+    SimulationResult,
+    SimulationSubstrate,
+    build_substrate,
+    count_day,
+    simulate_day,
+    _finish_result,
+)
+from repro.config import SimulationConfig
+from repro.faults.checkpoint import (
+    load_checkpoint,
+    restore_state,
+    save_checkpoint,
+)
+from repro.honeypot.session import SessionRecord
+from repro.parallel.shards import Shard, plan_shards
+from repro.util.timeutils import days_between
+
+logger = logging.getLogger("repro.parallel")
+
+#: Collector counter names merged across shards (mirrors the
+#: checkpoint serialization so the two stay in sync).
+COUNTER_KEYS = (
+    "generated",
+    "dropped_outage",
+    "dropped_sensor_down",
+    "retried",
+    "deduplicated",
+    "dead_lettered",
+)
+
+
+@dataclass
+class ShardOutput:
+    """Everything one fully simulated shard sends back to the parent."""
+
+    index: int
+    sessions: list[SessionRecord]
+    dead_letters: list[SessionRecord]
+    counters: dict[str, int]
+    channel_stats: dict[str, float]
+    #: Per-honeypot sessions handled inside this shard (counter deltas).
+    handled: dict[str, int]
+
+
+# ----------------------------------------------------------------------
+# worker-process side
+# ----------------------------------------------------------------------
+# Workers rebuild the substrate from the (picklable) config rather than
+# inheriting parent memory, so behaviour is identical under fork and
+# spawn start methods.  The substrate is cached per worker process and
+# reused across shard tasks; honeypot counters are preset absolutely at
+# the start of every task, so task order cannot leak state.
+
+_WORKER_ARGS: tuple | None = None
+_WORKER_SUBSTRATE: SimulationSubstrate | None = None
+
+
+def _init_worker(config: SimulationConfig, extra_bots_factory) -> None:
+    global _WORKER_ARGS, _WORKER_SUBSTRATE
+    _WORKER_ARGS = (config, extra_bots_factory)
+    _WORKER_SUBSTRATE = None
+
+
+def _worker_substrate() -> SimulationSubstrate:
+    global _WORKER_SUBSTRATE
+    if _WORKER_SUBSTRATE is None:
+        if _WORKER_ARGS is None:
+            raise RuntimeError("worker used before _init_worker ran")
+        _WORKER_SUBSTRATE = build_substrate(*_WORKER_ARGS)
+    return _WORKER_SUBSTRATE
+
+
+def _count_shard(span: tuple[str, str]) -> dict[str, int]:
+    """Phase 1: per-honeypot arrival counts for one shard's days."""
+    substrate = _worker_substrate()
+    counts: dict[str, int] = {}
+    for day in days_between(date.fromisoformat(span[0]), date.fromisoformat(span[1])):
+        count_day(substrate, day, counts)
+    return counts
+
+
+def _run_shard(
+    task: tuple[int, str, str, dict[str, int]]
+) -> ShardOutput:
+    """Phase 2: fully simulate one shard with preset honeypot counters."""
+    index, start_iso, end_iso, base_counters = task
+    substrate = _worker_substrate()
+    substrate.set_honeypot_counters(base_counters)
+    collector = substrate.fresh_collector()
+    channel = substrate.fresh_channel(collector)
+    deliver = channel.deliver
+    for day in days_between(
+        date.fromisoformat(start_iso), date.fromisoformat(end_iso)
+    ):
+        simulate_day(substrate, day, deliver)
+    handled = {
+        honeypot.honeypot_id: delta
+        for honeypot in substrate.honeynet.honeypots
+        if (
+            delta := honeypot._counter
+            - base_counters.get(honeypot.honeypot_id, 0)
+        )
+    }
+    return ShardOutput(
+        index=index,
+        sessions=collector.sessions,
+        dead_letters=collector.dead_letters,
+        counters={key: getattr(collector, key) for key in COUNTER_KEYS},
+        channel_stats=asdict(channel.stats),
+        handled=handled,
+    )
+
+
+# ----------------------------------------------------------------------
+# parent-process side
+# ----------------------------------------------------------------------
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The cheapest start method available (fork where supported)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+def _add_counts(total: dict[str, int], delta: dict[str, int]) -> None:
+    for key, value in delta.items():
+        total[key] = total.get(key, 0) + value
+
+
+def run_simulation_parallel(
+    config: SimulationConfig,
+    extra_bots_factory=None,
+    *,
+    workers: int,
+    checkpoint_path: Path | str | None = None,
+    checkpoint_every_days: int | None = None,
+    resume: bool = False,
+    stop_after: date | None = None,
+) -> SimulationResult:
+    """Sharded :func:`~repro.attackers.orchestrator.run_simulation`.
+
+    Same contract and same output digest as the serial engine for every
+    fault profile; only wall-clock differs.  Called via
+    ``run_simulation(..., workers=N)`` rather than directly.
+    """
+    if workers < 2:
+        raise ValueError("run_simulation_parallel requires workers >= 2")
+    substrate = build_substrate(config, extra_bots_factory)
+    collector = substrate.fresh_collector()
+    honeynet = substrate.honeynet
+
+    first_day = config.start
+    if resume:
+        if checkpoint_path is None:
+            raise ValueError("resume=True requires a checkpoint_path")
+        if Path(checkpoint_path).exists():
+            checkpoint = load_checkpoint(checkpoint_path, config)
+            first_day = restore_state(checkpoint, honeynet, collector)
+            logger.info(
+                "resumed from %s: %d sessions, next day %s",
+                checkpoint_path, len(collector.sessions), first_day,
+            )
+        else:
+            logger.info("no checkpoint at %s; starting fresh", checkpoint_path)
+    if checkpoint_path is not None and checkpoint_every_days is None:
+        checkpoint_every_days = DEFAULT_CHECKPOINT_EVERY_DAYS
+
+    # The serial loop checks ``day >= stop_after`` after simulating, so
+    # a stop_after before the resume cursor still simulates one day.
+    last_day = config.end
+    stopping = False
+    if stop_after is not None and first_day <= config.end:
+        last_day = min(config.end, max(stop_after, first_day))
+        stopping = last_day >= stop_after
+
+    started = time.monotonic()
+    shards = plan_shards(first_day, last_day, workers)
+    channel = substrate.fresh_channel(collector)
+    if not shards:
+        return _finish_result(substrate, collector, channel, started)
+
+    logger.info(
+        "simulating %s..%s across %d shards on %d workers "
+        "(fault profile: %s)",
+        first_day, last_day, len(shards), workers, config.faults.name,
+    )
+
+    base_counters = dict(substrate.honeypot_counters())
+    merged_stats = channel.stats
+    cumulative = dict(base_counters)
+    days_since_checkpoint = 0
+    last_saved: date | None = None
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=pool_context(),
+        initializer=_init_worker,
+        initargs=(config, extra_bots_factory),
+    ) as pool:
+        # Phase 1: count arrivals for every shard but the last (the
+        # last shard's counts are never needed as an offset).
+        count_futures: list[Future] = [
+            pool.submit(
+                _count_shard, (shard.start.isoformat(), shard.end.isoformat())
+            )
+            for shard in shards[:-1]
+        ]
+        # Phase 2: simulate each shard with prefix-summed counters.
+        run_futures: list[Future] = []
+        offsets = dict(base_counters)
+        for shard in shards:
+            run_futures.append(
+                pool.submit(
+                    _run_shard,
+                    (
+                        shard.index,
+                        shard.start.isoformat(),
+                        shard.end.isoformat(),
+                        dict(offsets),
+                    ),
+                )
+            )
+            if shard.index < len(count_futures):
+                _add_counts(offsets, count_futures[shard.index].result())
+        # Merge in shard order: concatenation reproduces the serial
+        # ingestion order, so the merged collector is byte-identical.
+        for shard, future in zip(shards, run_futures):
+            output: ShardOutput = future.result()
+            collector.absorb(
+                output.sessions, output.dead_letters, output.counters
+            )
+            for key, value in output.channel_stats.items():
+                setattr(
+                    merged_stats, key, getattr(merged_stats, key) + value
+                )
+            _add_counts(cumulative, output.handled)
+            days_since_checkpoint += shard.days
+            final_shard = shard.index == len(shards) - 1
+            if checkpoint_path is not None and (
+                days_since_checkpoint >= checkpoint_every_days
+                or (final_shard and stopping)
+            ):
+                substrate.set_honeypot_counters(cumulative)
+                save_checkpoint(
+                    checkpoint_path, config, shard.next_day,
+                    honeynet, collector,
+                )
+                days_since_checkpoint = 0
+                last_saved = shard.end
+                logger.debug("checkpointed through %s", shard.end)
+
+    substrate.set_honeypot_counters(cumulative)
+    if stopping:
+        logger.info("controlled stop after %s", last_day)
+    if last_saved is not None:
+        logger.debug("last checkpoint covers through %s", last_saved)
+    return _finish_result(substrate, collector, channel, started)

@@ -1,0 +1,69 @@
+"""Shard planning: carve the simulated window into contiguous day ranges.
+
+A shard is the unit of work the parallel engine hands to a worker
+process.  Sharding is *purely* an execution decision: the record stream
+is a function of ``(config, day)``, so any partition of the window into
+contiguous shards merges back into the identical dataset.  The planner
+therefore only optimises for load balance, never for correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+#: How many shards to aim for per worker.  More shards than workers
+#: smooths load imbalance (busy months cost more than quiet ones) at
+#: the price of slightly more per-shard bookkeeping.
+SHARDS_PER_WORKER = 2
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the simulated window (inclusive dates)."""
+
+    index: int
+    start: date
+    end: date
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError("shard start must not be after end")
+
+    @property
+    def days(self) -> int:
+        return (self.end - self.start).days + 1
+
+    @property
+    def next_day(self) -> date:
+        """The first day after this shard (checkpoint cursor)."""
+        return self.end + timedelta(days=1)
+
+
+def plan_shards(
+    start: date,
+    end: date,
+    workers: int,
+    shards_per_worker: int = SHARDS_PER_WORKER,
+) -> list[Shard]:
+    """Partition ``[start, end]`` into balanced contiguous shards.
+
+    Returns an empty list for an empty window (``start > end``).  Shard
+    lengths differ by at most one day; together they cover the window
+    exactly once, in order.
+    """
+    if start > end:
+        return []
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    total_days = (end - start).days + 1
+    count = max(1, min(total_days, workers * shards_per_worker))
+    base, extra = divmod(total_days, count)
+    shards: list[Shard] = []
+    cursor = start
+    for index in range(count):
+        length = base + (1 if index < extra else 0)
+        last = cursor + timedelta(days=length - 1)
+        shards.append(Shard(index=index, start=cursor, end=last))
+        cursor = last + timedelta(days=1)
+    return shards

@@ -11,13 +11,15 @@ from __future__ import annotations
 from functools import lru_cache
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
-from repro.analysis.dld import damerau_levenshtein
+from repro.analysis.distance import clear_distance_caches, distance_matrix
+from repro.analysis.dld import damerau_levenshtein, dld_bounds, normalized_dld
 from repro.analysis.kmedoids import kmedoids, silhouette_score
 from repro.honeypot.fs import FakeFilesystem
+from repro.parallel.distance import chunk_spans, pair_at, row_offsets
 
 
 def reference_dld(a: tuple[str, ...], b: tuple[str, ...]) -> int:
@@ -56,6 +58,115 @@ class TestDldAgainstReference:
         assert damerau_levenshtein(list("ca"), list("abc")) == 3
         assert damerau_levenshtein(list("ab"), list("ba")) == 1
         assert damerau_levenshtein(list("abcd"), list("badc")) == 2
+
+
+class TestDldMetricProperties:
+    """Invariants the clustering pipeline relies on (ISSUE 2)."""
+
+    @given(_tokens, _tokens)
+    @settings(max_examples=200)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+        assert normalized_dld(a, b) == normalized_dld(b, a)
+
+    @given(_tokens)
+    @settings(max_examples=100)
+    def test_identity(self, a):
+        assert damerau_levenshtein(a, a) == 0
+        assert normalized_dld(a, a) == 0.0
+
+    @given(_tokens, _tokens)
+    @settings(max_examples=200)
+    def test_length_difference_and_max_length_bounds(self, a, b):
+        # |len(a)-len(b)| <= DLD <= max(len(a), len(b)) — the bounds the
+        # chunked matrix uses for its early exit must actually bound.
+        lower, upper = dld_bounds(a, b)
+        assert lower == abs(len(a) - len(b))
+        assert upper == max(len(a), len(b))
+        assert lower <= damerau_levenshtein(a, b) <= upper
+
+    @given(_tokens, _tokens)
+    @settings(max_examples=200)
+    def test_normalized_in_unit_interval(self, a, b):
+        value = normalized_dld(a, b)
+        assert 0.0 <= value <= 1.0
+        if not a and not b:
+            assert value == 0.0
+        elif bool(a) != bool(b):
+            # one side empty: distance is the bounds-coincide early exit
+            assert value == 1.0
+
+    @given(_tokens.filter(lambda t: len(t) >= 2), st.data())
+    @settings(max_examples=150)
+    def test_single_adjacent_transposition_costs_one(self, a, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(a) - 2))
+        assume(a[index] != a[index + 1])
+        swapped = a[:index] + [a[index + 1], a[index]] + a[index + 2 :]
+        assert damerau_levenshtein(a, swapped) == 1
+
+    @given(_tokens, _tokens, _tokens)
+    @settings(max_examples=150)
+    def test_relaxed_triangle_bound(self, a, b, c):
+        # Restricted DLD (optimal string alignment) is NOT a metric — it
+        # can violate the triangle inequality — but it is sandwiched by
+        # plain Levenshtein (a transposition is two Levenshtein edits),
+        # which gives the provable 2x relaxation used to reason about
+        # cluster separations.
+        direct = damerau_levenshtein(a, c)
+        detour = damerau_levenshtein(a, b) + damerau_levenshtein(b, c)
+        assert direct <= 2 * detour or direct == 0
+
+    def test_triangle_inequality_violation_documented(self):
+        # The classic OSA counterexample: d(ca, abc) = 3 but the detour
+        # through "ac" costs only 1 + 1.  Downstream code treats DLD as
+        # a dissimilarity, never as a true metric.
+        a, b, c = list("ca"), list("ac"), list("abc")
+        assert damerau_levenshtein(a, c) > (
+            damerau_levenshtein(a, b) + damerau_levenshtein(b, c)
+        )
+
+
+_matrix_sizes = st.integers(min_value=0, max_value=40)
+
+
+class TestChunkGeometry:
+    """The linear-index ↔ (i, j) mapping behind the chunked matrix."""
+
+    @given(_matrix_sizes)
+    @settings(max_examples=100)
+    def test_pair_at_enumerates_upper_triangle_in_order(self, m):
+        offsets = row_offsets(m)
+        total = m * (m - 1) // 2
+        expected = [(i, j) for i in range(m) for j in range(i + 1, m)]
+        assert [pair_at(k, offsets) for k in range(total)] == expected
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=150)
+    def test_chunk_spans_partition_the_pair_range(self, total, chunks):
+        spans = chunk_spans(total, chunks)
+        assert all(start < stop for start, stop in spans)
+        if total == 0:
+            assert spans == []
+            return
+        assert spans[0][0] == 0
+        assert spans[-1][1] == total
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert start == stop
+        sizes = [stop - start for start, stop in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.lists(_tokens, min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_distance_matrix_matches_naive_double_loop(self, sequences):
+        clear_distance_caches()
+        matrix = distance_matrix(sequences)
+        for i, a in enumerate(sequences):
+            for j, b in enumerate(sequences):
+                assert matrix[i, j] == normalized_dld(a, b)
+        assert np.array_equal(matrix, matrix.T)
 
 
 @st.composite
