@@ -7,6 +7,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.dld import damerau_levenshtein, dld_bounds
 from repro.analysis.tokenizer import normalize_tokens, tokenize_session
 from repro.honeypot.session import SessionRecord
@@ -102,33 +103,40 @@ def distance_matrix(
     any worker count.  Tiny inputs fall back to serial — the pool costs
     more than the DP below a few hundred pairs.
     """
-    keys = [tuple(seq) for seq in token_sequences]
-    distinct: list[tuple[str, ...]] = []
-    index_of: dict[tuple[str, ...], int] = {}
-    for key in keys:
-        if key not in index_of:
-            index_of[key] = len(distinct)
-            distinct.append(key)
-    m = len(distinct)
-    total_pairs = m * (m - 1) // 2
-    if workers > 1:
-        from repro.parallel.distance import (
-            MIN_PAIRS_FOR_POOL,
-            compact_distance_matrix_parallel,
-        )
+    with telemetry.span("dld.matrix"):
+        keys = [tuple(seq) for seq in token_sequences]
+        distinct: list[tuple[str, ...]] = []
+        index_of: dict[tuple[str, ...], int] = {}
+        for key in keys:
+            if key not in index_of:
+                index_of[key] = len(distinct)
+                distinct.append(key)
+        m = len(distinct)
+        total_pairs = m * (m - 1) // 2
+        registry = telemetry.active()
+        if registry is not None:
+            registry.count("dld.matrix_builds")
+            registry.count("dld.sequences", len(keys))
+            registry.count("dld.distinct_sequences", m)
+            registry.count("dld.pairs", total_pairs)
+        if workers > 1:
+            from repro.parallel.distance import (
+                MIN_PAIRS_FOR_POOL,
+                compact_distance_matrix_parallel,
+            )
 
-        if total_pairs >= MIN_PAIRS_FOR_POOL:
-            compact = compact_distance_matrix_parallel(distinct, workers)
-            mapping = np.array([index_of[key] for key in keys])
-            return compact[np.ix_(mapping, mapping)]
-    compact = np.zeros((m, m), dtype=np.float64)
-    for i in range(m):
-        for j in range(i + 1, m):
-            value = pair_distance(distinct[i], distinct[j])
-            compact[i, j] = value
-            compact[j, i] = value
-    mapping = np.array([index_of[key] for key in keys])
-    return compact[np.ix_(mapping, mapping)]
+            if total_pairs >= MIN_PAIRS_FOR_POOL:
+                compact = compact_distance_matrix_parallel(distinct, workers)
+                mapping = np.array([index_of[key] for key in keys])
+                return compact[np.ix_(mapping, mapping)]
+        compact = np.zeros((m, m), dtype=np.float64)
+        for i in range(m):
+            for j in range(i + 1, m):
+                value = pair_distance(distinct[i], distinct[j])
+                compact[i, j] = value
+                compact[j, i] = value
+        mapping = np.array([index_of[key] for key in keys])
+        return compact[np.ix_(mapping, mapping)]
 
 
 def sample_sessions(

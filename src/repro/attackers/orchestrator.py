@@ -51,6 +51,7 @@ from repro.honeynet.deployment import Honeynet, deploy_honeynet
 from repro.honeypot.session import SessionRecord
 from repro.net.population import BasePopulation, build_base_population
 from repro.net.whois import HistoricalWhois
+from repro import telemetry
 from repro.util.rng import RngTree
 from repro.util.timeutils import days_between, month_key, to_epoch
 
@@ -216,10 +217,13 @@ def simulate_day(
     honeypots = substrate.honeynet.honeypots
     fleet_size = len(honeypots)
     context = substrate.context
+    produced = 0
+    active_bots = 0
     for bot in substrate.bots:
         intents = bot.sessions_for_day(context, day)
         if not intents:
             continue
+        active_bots += 1
         route_rng = context.tree.child(
             "route", bot.name, day.toordinal()
         ).rand()
@@ -232,6 +236,13 @@ def simulate_day(
             when = to_epoch(day, bot.start_seconds(route_rng, day))
             record = honeypot.handle(intent, when)
             deliver(record)
+            produced += 1
+    registry = telemetry.active()
+    if registry is not None:
+        registry.count("sim.days")
+        registry.count("sim.sessions", produced)
+        registry.count("sim.active_bot_days", active_bots)
+        registry.observe("sim.sessions_per_day", produced)
 
 
 def count_day(
@@ -274,7 +285,9 @@ def _finish_result(
     started: float,
 ) -> SimulationResult:
     """Wrap the collected sessions into the public result object."""
-    database = SessionDatabase(collector.sessions)
+    with telemetry.span("sim.finalize"):
+        database = SessionDatabase(collector.sessions)
+    telemetry.gauge("sim.stored_sessions", len(database))
     logger.info(
         "simulation finished: %d sessions (%d dropped in outages/downtime, "
         "%d dead-lettered) in %.1fs",
@@ -360,6 +373,7 @@ def run_simulation(
         if Path(checkpoint_path).exists():
             checkpoint = load_checkpoint(checkpoint_path, config)
             first_day = restore_state(checkpoint, honeynet, collector)
+            telemetry.count("checkpoint.resumes")
             logger.info(
                 "resumed from %s: %d sessions, next day %s",
                 checkpoint_path, len(collector.sessions), first_day,
@@ -386,28 +400,31 @@ def run_simulation(
         if first_day <= config.end
         else iter(())
     )
-    for day in days:
-        month = month_key(day)
-        if month != current_month:
-            if current_month is not None:
-                logger.debug(
-                    "month %s done (%d sessions so far)",
-                    current_month, len(collector.sessions),
+    with telemetry.span("sim.run"):
+        for day in days:
+            month = month_key(day)
+            if month != current_month:
+                if current_month is not None:
+                    logger.debug(
+                        "month %s done (%d sessions so far)",
+                        current_month, len(collector.sessions),
+                    )
+                current_month = month
+            with telemetry.span("sim.day"):
+                simulate_day(substrate, day, deliver)
+            days_done += 1
+            stopping = stop_after is not None and day >= stop_after
+            if checkpoint_path is not None and (
+                stopping or days_done % checkpoint_every_days == 0
+            ):
+                save_checkpoint(
+                    checkpoint_path, config, day + timedelta(days=1),
+                    honeynet, collector,
                 )
-            current_month = month
-        simulate_day(substrate, day, deliver)
-        days_done += 1
-        stopping = stop_after is not None and day >= stop_after
-        if checkpoint_path is not None and (
-            stopping or days_done % checkpoint_every_days == 0
-        ):
-            save_checkpoint(
-                checkpoint_path, config, day + timedelta(days=1),
-                honeynet, collector,
-            )
-            logger.debug("checkpointed through %s", day)
-        if stopping:
-            logger.info("controlled stop after %s", day)
-            break
+                telemetry.count("checkpoint.saves")
+                logger.debug("checkpointed through %s", day)
+            if stopping:
+                logger.info("controlled stop after %s", day)
+                break
 
     return _finish_result(substrate, collector, channel, started)

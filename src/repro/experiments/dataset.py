@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.abusedb.aggregate import AbuseDatasets, build_abuse_datasets
 from repro.abusedb.killnet import build_killnet_list
 from repro.abusedb.shadowserver import (
@@ -115,23 +116,28 @@ class Dataset:
     def clustering(self, sample_limit: int = CLUSTER_SAMPLE_LIMIT) -> Clustering:
         """Tokenize, measure, select k and cluster (cached)."""
         if self._clustering is None:
-            sessions = sample_sessions(
-                self.file_sessions(), sample_limit, seed=self.config.seed
-            )
-            tokens = session_tokens(sessions)
-            matrix = distance_matrix(tokens, workers=self.config.workers)
-            result, selection = cluster_with_selection(
-                matrix, seed=self.config.seed
-            )
-            profiles = profile_clusters(result, sessions, tokens, self.abuse)
-            self._clustering = Clustering(
-                sessions=sessions,
-                tokens=tokens,
-                matrix=matrix,
-                result=result,
-                selection=selection,
-                profiles=profiles,
-            )
+            with telemetry.span("dataset.clustering"), telemetry.profile(
+                "clustering"
+            ):
+                sessions = sample_sessions(
+                    self.file_sessions(), sample_limit, seed=self.config.seed
+                )
+                tokens = session_tokens(sessions)
+                matrix = distance_matrix(tokens, workers=self.config.workers)
+                result, selection = cluster_with_selection(
+                    matrix, seed=self.config.seed
+                )
+                profiles = profile_clusters(
+                    result, sessions, tokens, self.abuse
+                )
+                self._clustering = Clustering(
+                    sessions=sessions,
+                    tokens=tokens,
+                    matrix=matrix,
+                    result=result,
+                    selection=selection,
+                    profiles=profiles,
+                )
         return self._clustering
 
 
@@ -157,34 +163,41 @@ def build_dataset(config: SimulationConfig, use_cache: bool = True) -> Dataset:
     """Simulate (or reuse) the dataset for ``config``."""
     key = _cache_key(config)
     if use_cache and key in _CACHE:
+        telemetry.count("dataset.cache_hits")
         return _CACHE[key]
-    simulation = run_simulation(config)
-    # Refuse to analyse a dataset whose instrument was mostly dark;
-    # every figure downstream assumes the gaps are annotatable, not
-    # dominant.
-    validate_coverage(simulation.coverage)
-    storage_ips = [host.ip for host in simulation.infrastructure.hosts]
-    abuse = build_abuse_datasets(
-        simulation.malware,
-        storage_ips,
-        extra_hashes={MDRFCKR_KEY_FILE_HASH: "CoinMiner"},
-    )
-    tree = RngTree(config.seed).child("external")
-    from repro.attackers.fleetplan import find_bot
+    with telemetry.span("dataset.build"):
+        telemetry.count("dataset.builds")
+        with telemetry.span("dataset.simulate"), telemetry.profile("simulate"):
+            simulation = run_simulation(config)
+        # Refuse to analyse a dataset whose instrument was mostly dark;
+        # every figure downstream assumes the gaps are annotatable, not
+        # dominant.
+        validate_coverage(simulation.coverage)
+        with telemetry.span("dataset.external"):
+            storage_ips = [
+                host.ip for host in simulation.infrastructure.hosts
+            ]
+            abuse = build_abuse_datasets(
+                simulation.malware,
+                storage_ips,
+                extra_hashes={MDRFCKR_KEY_FILE_HASH: "CoinMiner"},
+            )
+            tree = RngTree(config.seed).child("external")
+            from repro.attackers.fleetplan import find_bot
 
-    mdrfckr_pool = find_bot(simulation.bots, "mdrfckr").pool
-    killnet = build_killnet_list(
-        mdrfckr_pool.ips, simulation.population, tree
-    )
-    shadowserver = build_shadowserver_report(
-        MDRFCKR_KEY, RAPPERBOT_KEY, config.scale, tree
-    )
-    dataset = Dataset(
-        simulation=simulation,
-        abuse=abuse,
-        killnet_ips=killnet,
-        shadowserver=shadowserver,
-    )
+            mdrfckr_pool = find_bot(simulation.bots, "mdrfckr").pool
+            killnet = build_killnet_list(
+                mdrfckr_pool.ips, simulation.population, tree
+            )
+            shadowserver = build_shadowserver_report(
+                MDRFCKR_KEY, RAPPERBOT_KEY, config.scale, tree
+            )
+        dataset = Dataset(
+            simulation=simulation,
+            abuse=abuse,
+            killnet_ips=killnet,
+            shadowserver=shadowserver,
+        )
     if use_cache:
         _CACHE[key] = dataset
     return dataset

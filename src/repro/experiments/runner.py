@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import importlib
 
+from repro import telemetry
 from repro.config import DEFAULT_CONFIG, SimulationConfig
 from repro.experiments.base import REGISTRY, ExperimentResult, get_experiment
 from repro.experiments.dataset import Dataset, build_dataset
@@ -49,7 +50,10 @@ def run_experiment(
     load_all_experiments()
     if dataset is None:
         dataset = build_dataset(config)
-    return get_experiment(experiment_id).run(dataset)
+    with telemetry.span(f"experiment.{experiment_id}"):
+        result = get_experiment(experiment_id).run(dataset)
+    telemetry.count("experiments.completed")
+    return result
 
 
 def run_all(
@@ -61,7 +65,7 @@ def run_all(
     if dataset is None:
         dataset = build_dataset(config)
     return {
-        experiment_id: get_experiment(experiment_id).run(dataset)
+        experiment_id: run_experiment(experiment_id, dataset)
         for experiment_id in ids
     }
 
@@ -85,15 +89,33 @@ def main() -> None:
     parser.add_argument(
         "--only", nargs="*", default=None, help="experiment ids to run"
     )
+    parser.add_argument(
+        "--telemetry", type=str, default=None, metavar="PATH",
+        help="collect run telemetry and write it as JSON",
+    )
     args = parser.parse_args()
     config = SimulationConfig(
         scale=args.scale, seed=args.seed, workers=args.workers
     )
     load_all_experiments()
-    dataset = build_dataset(config)
-    ids = args.only or list(REGISTRY)
-    results = {eid: get_experiment(eid).run(dataset) for eid in ids}
+    registry = telemetry.enable() if args.telemetry else None
+    try:
+        dataset = build_dataset(config)
+        ids = args.only or list(REGISTRY)
+        results = {eid: run_experiment(eid, dataset) for eid in ids}
+    finally:
+        if registry is not None:
+            telemetry.disable()
     print(render_report(results))
+    if registry is not None:
+        meta = {
+            "command": "experiments.runner",
+            "seed": config.seed,
+            "scale": config.scale,
+            "workers": config.workers,
+        }
+        telemetry.write_telemetry_json(args.telemetry, registry, meta=meta)
+        print(f"wrote {args.telemetry}")
 
 
 if __name__ == "__main__":

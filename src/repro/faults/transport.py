@@ -21,8 +21,10 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import telemetry
 from repro.faults.plan import TransportFaults
 from repro.honeypot.session import SessionRecord
+from repro.telemetry.metrics import BACKOFF_BOUNDS
 from repro.util.rng import RngTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -114,30 +116,45 @@ class ResilientChannel:
             return False
         rng = self._tree.child(record.session_id).rand()
         faults = self.faults
+        registry = telemetry.active()
         fail_below = faults.failure_probability + faults.corruption_probability
         for attempt in range(1, self.policy.max_attempts + 1):
             self.stats.attempts += 1
+            if registry is not None:
+                registry.count("transport.attempts")
             roll = rng.random()
             if roll < faults.corruption_probability:
                 self.stats.corrupt_deliveries += 1
+                if registry is not None:
+                    registry.count("transport.corrupt_deliveries")
             elif roll < fail_below:
                 self.stats.transient_failures += 1
+                if registry is not None:
+                    registry.count("transport.transient_failures")
             else:
                 stored = collector.accept(record)
                 if stored:
                     self.stats.delivered += 1
+                    if registry is not None:
+                        registry.count("transport.delivered")
                     if rng.random() < faults.duplicate_probability:
                         # Lost ack: the sensor re-transmits the stored
                         # record; the duplicate crosses the collection
                         # boundary and is deduplicated there.
                         self.stats.duplicate_deliveries += 1
+                        if registry is not None:
+                            registry.count("transport.duplicate_deliveries")
                         collector.ingest(record)
                 return stored
             if attempt < self.policy.max_attempts:
                 collector.retried += 1
-                self.stats.simulated_backoff_s += self.policy.backoff_s(
-                    attempt, rng
-                )
+                backoff = self.policy.backoff_s(attempt, rng)
+                self.stats.simulated_backoff_s += backoff
+                if registry is not None:
+                    registry.count("transport.retries")
+                    registry.observe(
+                        "transport.backoff_s", backoff, BACKOFF_BOUNDS
+                    )
         collector.dead_letter(record)
         return False
 

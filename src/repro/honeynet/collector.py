@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro import telemetry
 from repro.faults.plan import PAPER_OUTAGE, OutageWindow
 from repro.honeypot.session import SessionRecord
 from repro.util.timeutils import epoch_ordinal
@@ -80,20 +81,24 @@ class Collector:
             self.dropped_sensor_down += 1
         else:
             raise ValueError(f"unknown drop reason: {reason!r}")
+        telemetry.count(f"collector.dropped.{reason}")
 
     def accept(self, record: SessionRecord) -> bool:
         """Store a delivered record; False if it is a duplicate."""
         if record.session_id in self._seen_ids:
             self.deduplicated += 1
+            telemetry.count("collector.deduplicated")
             return False
         self._seen_ids.add(record.session_id)
         self.sessions.append(record)
+        telemetry.count("collector.stored")
         return True
 
     def dead_letter(self, record: SessionRecord) -> None:
         """Park a record the transport permanently failed to deliver."""
         self.dead_letters.append(record)
         self.dead_lettered += 1
+        telemetry.count("collector.dead_lettered")
 
     # ------------------------------------------------------------------
     # the lossless delivery path (paper profile / direct ingestion)
@@ -101,6 +106,7 @@ class Collector:
     def ingest(self, record: SessionRecord) -> bool:
         """Deliver one record losslessly; returns True iff stored."""
         self.generated += 1
+        telemetry.count("collector.offered")
         reason = self.drop_reason(record)
         if reason is not None:
             self.record_drop(reason)
@@ -159,10 +165,22 @@ class Collector:
         the serial accounting — every per-record effect (drop, dedup,
         dead-letter) already happened inside the shard.
         """
+        absorbed = len(self.sessions)
         for record in sessions:
             self._seen_ids.add(record.session_id)
             self.sessions.append(record)
+        absorbed = len(self.sessions) - absorbed
+        dead = len(self.dead_letters)
         self.dead_letters.extend(dead_letters)
+        registry = telemetry.active()
+        if registry is not None:
+            # Engine-shaped bookkeeping (the serial path never absorbs),
+            # hence the merge-only prefix — see telemetry.comparable_view.
+            registry.count("collector.absorb.batches")
+            registry.count("collector.absorb.sessions", absorbed)
+            registry.count(
+                "collector.absorb.dead_letters", len(self.dead_letters) - dead
+            )
         self.generated += counters.get("generated", 0)
         self.dropped_outage += counters.get("dropped_outage", 0)
         self.dropped_sensor_down += counters.get("dropped_sensor_down", 0)

@@ -20,6 +20,8 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import telemetry
+
 #: Pairs below this threshold are not worth a process pool: the fork +
 #: pickle overhead exceeds the DP work.  Callers fall back to serial.
 MIN_PAIRS_FOR_POOL = 256
@@ -104,6 +106,7 @@ def compact_distance_matrix_parallel(
         return compact
     offsets = row_offsets(m)
     spans = chunk_spans(total_pairs, workers * CHUNKS_PER_WORKER)
+    telemetry.count("parallel.dld.chunks", len(spans))
     flat = np.zeros(total_pairs, dtype=np.float64)
     with ProcessPoolExecutor(
         max_workers=workers,

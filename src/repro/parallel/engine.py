@@ -55,6 +55,7 @@ from repro.faults.checkpoint import (
 )
 from repro.honeypot.session import SessionRecord
 from repro.parallel.shards import Shard, plan_shards
+from repro import telemetry
 from repro.util.timeutils import days_between
 
 logger = logging.getLogger("repro.parallel")
@@ -82,6 +83,9 @@ class ShardOutput:
     channel_stats: dict[str, float]
     #: Per-honeypot sessions handled inside this shard (counter deltas).
     handled: dict[str, int]
+    #: Shard-local telemetry registry export (None when telemetry is
+    #: disabled); merged into the parent registry in shard order.
+    telemetry: dict | None = None
 
 
 # ----------------------------------------------------------------------
@@ -95,12 +99,20 @@ class ShardOutput:
 
 _WORKER_ARGS: tuple | None = None
 _WORKER_SUBSTRATE: SimulationSubstrate | None = None
+_WORKER_TELEMETRY: bool = False
 
 
-def _init_worker(config: SimulationConfig, extra_bots_factory) -> None:
-    global _WORKER_ARGS, _WORKER_SUBSTRATE
+def _init_worker(
+    config: SimulationConfig, extra_bots_factory, collect_telemetry: bool = False
+) -> None:
+    global _WORKER_ARGS, _WORKER_SUBSTRATE, _WORKER_TELEMETRY
     _WORKER_ARGS = (config, extra_bots_factory)
     _WORKER_SUBSTRATE = None
+    _WORKER_TELEMETRY = collect_telemetry
+    # Under the fork start method the child inherits the parent's
+    # active registry; clear it so shard metrics are strictly
+    # shard-local (each task enables its own fresh registry).
+    telemetry.disable()
 
 
 def _worker_substrate() -> SimulationSubstrate:
@@ -131,10 +143,19 @@ def _run_shard(
     collector = substrate.fresh_collector()
     channel = substrate.fresh_channel(collector)
     deliver = channel.deliver
-    for day in days_between(
-        date.fromisoformat(start_iso), date.fromisoformat(end_iso)
-    ):
-        simulate_day(substrate, day, deliver)
+    registry = telemetry.enable() if _WORKER_TELEMETRY else None
+    # The shard's day loop carries the same span names as the serial
+    # engine, so merged span paths line up run-for-run.
+    with telemetry.span("sim.run"):
+        for day in days_between(
+            date.fromisoformat(start_iso), date.fromisoformat(end_iso)
+        ):
+            with telemetry.span("sim.day"):
+                simulate_day(substrate, day, deliver)
+    telemetry_export = None
+    if registry is not None:
+        telemetry.disable()
+        telemetry_export = registry.export()
     handled = {
         honeypot.honeypot_id: delta
         for honeypot in substrate.honeynet.honeypots
@@ -150,6 +171,7 @@ def _run_shard(
         counters={key: getattr(collector, key) for key in COUNTER_KEYS},
         channel_stats=asdict(channel.stats),
         handled=handled,
+        telemetry=telemetry_export,
     )
 
 
@@ -199,6 +221,7 @@ def run_simulation_parallel(
         if Path(checkpoint_path).exists():
             checkpoint = load_checkpoint(checkpoint_path, config)
             first_day = restore_state(checkpoint, honeynet, collector)
+            telemetry.count("checkpoint.resumes")
             logger.info(
                 "resumed from %s: %d sessions, next day %s",
                 checkpoint_path, len(collector.sessions), first_day,
@@ -234,11 +257,16 @@ def run_simulation_parallel(
     days_since_checkpoint = 0
     last_saved: date | None = None
 
-    with ProcessPoolExecutor(
+    parent_registry = telemetry.active()
+    if parent_registry is not None:
+        parent_registry.gauge("parallel.workers", workers)
+        parent_registry.count("parallel.shards", len(shards))
+
+    with telemetry.span("parallel.run"), ProcessPoolExecutor(
         max_workers=workers,
         mp_context=pool_context(),
         initializer=_init_worker,
-        initargs=(config, extra_bots_factory),
+        initargs=(config, extra_bots_factory, parent_registry is not None),
     ) as pool:
         # Phase 1: count arrivals for every shard but the last (the
         # last shard's counts are never needed as an offset).
@@ -272,6 +300,8 @@ def run_simulation_parallel(
             collector.absorb(
                 output.sessions, output.dead_letters, output.counters
             )
+            if parent_registry is not None and output.telemetry is not None:
+                parent_registry.merge_export(output.telemetry)
             for key, value in output.channel_stats.items():
                 setattr(
                     merged_stats, key, getattr(merged_stats, key) + value
@@ -288,6 +318,7 @@ def run_simulation_parallel(
                     checkpoint_path, config, shard.next_day,
                     honeynet, collector,
                 )
+                telemetry.count("checkpoint.saves")
                 days_since_checkpoint = 0
                 last_saved = shard.end
                 logger.debug("checkpointed through %s", shard.end)

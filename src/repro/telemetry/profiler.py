@@ -1,0 +1,63 @@
+"""Optional cProfile capture around named pipeline stages.
+
+Profiling is a second opt-in on top of telemetry itself
+(``telemetry.enable(profile=True)``): spans answer *where the time
+went between stages*, the profiler answers *where it went inside one*.
+Each profiled stage stores a short pstats summary (top functions by
+cumulative time) on the registry, which the run report renders as a
+code block.
+
+cProfile cannot nest, so an inner :func:`profile_stage` inside an
+already-profiled stage degrades to a no-op rather than raising — the
+outer capture already covers the inner frames.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import TYPE_CHECKING
+
+from repro.telemetry.spans import NULL_SPAN
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.metrics import MetricsRegistry
+
+#: Functions listed per profiled stage in the run report.
+PROFILE_TOP_N = 15
+
+
+class ProfiledStage:
+    """Context manager capturing a cProfile run for one stage."""
+
+    __slots__ = ("registry", "name", "_profile")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self.registry = registry
+        self.name = name
+        self._profile: cProfile.Profile | None = None
+
+    def __enter__(self) -> "ProfiledStage":
+        self.registry._profile_depth += 1
+        if self.registry._profile_depth == 1:
+            self._profile = cProfile.Profile()
+            self._profile.enable()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._profile is not None:
+            self._profile.disable()
+            buffer = io.StringIO()
+            stats = pstats.Stats(self._profile, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+            self.registry.profiles[self.name] = buffer.getvalue()
+        self.registry._profile_depth -= 1
+        return False
+
+
+def profile_stage(registry: "MetricsRegistry | None", name: str):
+    """A cProfile capture for ``name`` iff profiling is switched on."""
+    if registry is None or not registry.profiling:
+        return NULL_SPAN
+    return ProfiledStage(registry, name)

@@ -1,0 +1,65 @@
+"""Nestable timing spans over a low-overhead monotonic clock.
+
+A span is a ``with`` block; nesting builds slash-separated paths
+(``sim.run/sim.day``) on the owning registry's span stack, and closing
+a span folds its elapsed time into the per-path :class:`SpanStats`
+aggregate.  Only aggregates are kept — no per-event list — so a span
+in a hot loop costs two ``perf_counter`` calls and a dict update, and
+the memory footprint is bounded by the number of distinct paths.
+
+When telemetry is disabled, :func:`repro.telemetry.span` returns the
+shared :data:`NULL_SPAN` whose enter/exit do nothing at all.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.metrics import MetricsRegistry
+
+
+class _NullSpan:
+    """Zero-cost stand-in used while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+#: Shared no-op context manager (safe to reuse: it carries no state).
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region; records into ``registry`` on exit.
+
+    The elapsed time is recorded even when the body raises, so reports
+    still account for work done before a failure.
+    """
+
+    __slots__ = ("registry", "name", "_path", "_started")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self.registry = registry
+        self.name = name
+        self._path = ""
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self.registry._span_stack
+        stack.append(self.name)
+        self._path = "/".join(stack)
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        elapsed = perf_counter() - self._started
+        self.registry._span_stack.pop()
+        self.registry.record_span(self._path, elapsed)
+        return False

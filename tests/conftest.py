@@ -1,16 +1,85 @@
 """Shared fixtures: one simulated dataset per test session.
 
 The default-scale dataset takes a few seconds to build, so it is built
-once and shared; tests must treat it as read-only.
+once and shared; tests must treat it as read-only.  The same goes for
+the per-fault-profile serial baselines (``serial_baselines``) the
+differential suites compare against.
 """
 
 from __future__ import annotations
 
+from datetime import date
+
 import pytest
 
+from repro.attackers.orchestrator import run_simulation
 from repro.config import DEFAULT_CONFIG, SimulationConfig
 from repro.experiments.dataset import Dataset, build_dataset
 from repro.experiments.runner import load_all_experiments
+from repro.faults.plan import FaultProfile
+
+#: SHA-256 of the default-config dataset produced by the pipeline
+#: *before* the fault subsystem existed (13429 sessions, 29 dropped).
+#: The default paper profile must keep reproducing exactly this.
+GOLDEN_DEFAULT_DIGEST = (
+    "9fa2ad596597cbad5973236559d44b6cd438500551e43cdc9d89373df31f9ae8"
+)
+
+#: A five-week window straddling the paper's October 2023 outage —
+#: short enough for per-test runs, long enough to exercise the outage.
+SHORT_WINDOW = dict(start=date(2023, 9, 15), end=date(2023, 10, 20))
+
+#: Every named fault profile (the differential suites sweep all three).
+PROFILES = ("none", "paper", "stress")
+
+
+def make_record(
+    start: float,
+    session_id: str = "s-1",
+    honeypot_id: str = "hp-000",
+):
+    """A minimal valid session record for collector/transport tests."""
+    from repro.honeypot.session import Protocol, SessionRecord
+
+    return SessionRecord(
+        session_id=session_id,
+        honeypot_id=honeypot_id,
+        honeypot_ip="192.0.2.1",
+        honeypot_port=22,
+        protocol=Protocol.SSH,
+        client_ip="1.1.1.1",
+        client_port=40000,
+        start=start,
+        end=start + 5,
+    )
+
+
+def short_fault_config(profile: str) -> SimulationConfig:
+    """The SHORT_WINDOW config the differential suites run under."""
+    return SimulationConfig(
+        seed=33,
+        scale=1e-4,
+        faults=FaultProfile.from_name(profile),
+        **SHORT_WINDOW,
+    )
+
+
+@pytest.fixture(scope="session")
+def serial_baselines():
+    """One serial reference run per fault profile (shared, read-only)."""
+    return {
+        profile: run_simulation(short_fault_config(profile))
+        for profile in PROFILES
+    }
+
+
+@pytest.fixture(scope="session")
+def tiny_result():
+    """A three-week moderate-density run (shared, read-only)."""
+    config = SimulationConfig(
+        seed=21, scale=2e-4, start=date(2022, 3, 1), end=date(2022, 3, 21)
+    )
+    return run_simulation(config)
 
 
 @pytest.fixture(scope="session")

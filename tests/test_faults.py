@@ -48,35 +48,7 @@ from repro.faults.transport import (
 from repro.honeynet.collector import Collector
 from repro.util.rng import RngTree
 from repro.util.timeutils import to_epoch
-
-#: SHA-256 of the default-config dataset produced by the pipeline
-#: *before* the fault subsystem existed (13429 sessions, 29 dropped).
-#: The default paper profile must keep reproducing exactly this.
-GOLDEN_DEFAULT_DIGEST = (
-    "9fa2ad596597cbad5973236559d44b6cd438500551e43cdc9d89373df31f9ae8"
-)
-
-SHORT_WINDOW = dict(start=date(2023, 9, 15), end=date(2023, 10, 20))
-
-
-def make_record(
-    start: float,
-    session_id: str = "s-1",
-    honeypot_id: str = "hp-000",
-):
-    from repro.honeypot.session import Protocol, SessionRecord
-
-    return SessionRecord(
-        session_id=session_id,
-        honeypot_id=honeypot_id,
-        honeypot_ip="192.0.2.1",
-        honeypot_port=22,
-        protocol=Protocol.SSH,
-        client_ip="1.1.1.1",
-        client_port=40000,
-        start=start,
-        end=start + 5,
-    )
+from tests.conftest import GOLDEN_DEFAULT_DIGEST, SHORT_WINDOW, make_record
 
 
 class TestFaultProfile:

@@ -13,14 +13,6 @@ from repro.honeypot.session import Protocol
 from repro.util.timeutils import epoch_date
 
 
-@pytest.fixture(scope="module")
-def tiny_result():
-    config = SimulationConfig(
-        seed=21, scale=2e-4, start=date(2022, 3, 1), end=date(2022, 3, 21)
-    )
-    return run_simulation(config)
-
-
 class TestDeterminism:
     def test_same_seed_same_dataset(self):
         config = SimulationConfig(

@@ -27,31 +27,15 @@ from repro.analysis.distance import (
 )
 from repro.analysis.dld import normalized_dld
 from repro.attackers.orchestrator import run_simulation
-from repro.config import DEFAULT_CONFIG, SimulationConfig
-from repro.faults.plan import FaultProfile
+from repro.config import DEFAULT_CONFIG
 from repro.parallel.shards import plan_shards
-from tests.test_faults import GOLDEN_DEFAULT_DIGEST
+from tests.conftest import (
+    GOLDEN_DEFAULT_DIGEST,
+    PROFILES,
+    short_fault_config,
+)
 
 pytestmark = pytest.mark.parallel
-
-SHORT_WINDOW = dict(start=date(2023, 9, 15), end=date(2023, 10, 20))
-
-PROFILES = ("none", "paper", "stress")
-
-
-def short_config(profile: str) -> SimulationConfig:
-    return SimulationConfig(
-        seed=33,
-        scale=1e-4,
-        faults=FaultProfile.from_name(profile),
-        **SHORT_WINDOW,
-    )
-
-
-@pytest.fixture(scope="module")
-def serial_baselines():
-    """One serial reference run per fault profile (shared, read-only)."""
-    return {profile: run_simulation(short_config(profile)) for profile in PROFILES}
 
 
 def assert_equivalent(parallel, serial, check_channel: bool = True) -> None:
@@ -117,18 +101,18 @@ class TestDifferential:
     def test_digest_identical_to_serial(
         self, serial_baselines, profile, workers
     ):
-        parallel = run_simulation(short_config(profile), workers=workers)
+        parallel = run_simulation(short_fault_config(profile), workers=workers)
         assert_equivalent(parallel, serial_baselines[profile])
 
     def test_workers_taken_from_config(self, serial_baselines):
-        config = short_config("paper").replace(workers=2)
+        config = short_fault_config("paper").replace(workers=2)
         parallel = run_simulation(config)
         assert parallel.database.digest() == (
             serial_baselines["paper"].database.digest()
         )
 
     def test_explicit_workers_override_config(self, serial_baselines):
-        config = short_config("paper").replace(workers=4)
+        config = short_fault_config("paper").replace(workers=4)
         serial = run_simulation(config, workers=1)
         assert serial.database.digest() == (
             serial_baselines["paper"].database.digest()
@@ -142,7 +126,7 @@ class TestDifferential:
 
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError, match="workers"):
-            run_simulation(short_config("paper"), workers=0)
+            run_simulation(short_fault_config("paper"), workers=0)
 
 
 class TestCheckpointResumeParallel:
@@ -153,7 +137,7 @@ class TestCheckpointResumeParallel:
     def test_parallel_checkpoint_parallel_resume(
         self, tmp_path, serial_baselines
     ):
-        config = short_config("stress")
+        config = short_fault_config("stress")
         checkpoint = tmp_path / "run.ckpt"
         partial = run_simulation(
             config,
@@ -171,7 +155,7 @@ class TestCheckpointResumeParallel:
     def test_serial_checkpoint_parallel_resume(
         self, tmp_path, serial_baselines
     ):
-        config = short_config("stress")
+        config = short_fault_config("stress")
         checkpoint = tmp_path / "run.ckpt"
         run_simulation(
             config,
@@ -189,7 +173,7 @@ class TestCheckpointResumeParallel:
     def test_parallel_checkpoint_serial_resume(
         self, tmp_path, serial_baselines
     ):
-        config = short_config("stress")
+        config = short_fault_config("stress")
         checkpoint = tmp_path / "run.ckpt"
         run_simulation(
             config,
@@ -207,7 +191,7 @@ class TestCheckpointResumeParallel:
         self, tmp_path, serial_baselines
     ):
         resumed = run_simulation(
-            short_config("paper"),
+            short_fault_config("paper"),
             workers=2,
             checkpoint_path=tmp_path / "missing.ckpt",
             resume=True,
@@ -218,7 +202,7 @@ class TestCheckpointResumeParallel:
 
     def test_parallel_resume_requires_checkpoint_path(self):
         with pytest.raises(ValueError, match="checkpoint_path"):
-            run_simulation(short_config("paper"), workers=2, resume=True)
+            run_simulation(short_fault_config("paper"), workers=2, resume=True)
 
 
 def _random_token_sequences(count: int, seed: int) -> list[list[str]]:
@@ -272,7 +256,7 @@ class TestTokenizeOnce:
     """Regression for the per-call-site re-tokenization (ISSUE 2 fix)."""
 
     def make_sessions(self, count: int):
-        from tests.test_faults import make_record
+        from tests.conftest import make_record
         from repro.util.timeutils import to_epoch
 
         return [

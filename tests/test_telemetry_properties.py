@@ -1,0 +1,179 @@
+"""Property tests for the telemetry merge algebra.
+
+The parallel engine's telemetry guarantee rests on two algebraic facts:
+histogram bucket placement is a pure function of (value, layout), and
+registry merging is associative with the empty registry as identity and
+no value loss.  Hypothesis sweeps those properties over arbitrary
+values, layouts and partitions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.telemetry.metrics import (
+    SECONDS_BOUNDS,
+    VOLUME_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    SpanStats,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+bounds_layouts = st.sampled_from(
+    [VOLUME_BOUNDS, SECONDS_BOUNDS, (0.0,), (1.0, 2.0, 3.0)]
+)
+
+counter_dicts = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "sim.days", "parallel.shards"]),
+    st.integers(min_value=0, max_value=10**9),
+    max_size=5,
+)
+
+
+def histogram_of(values, bounds) -> Histogram:
+    histogram = Histogram(bounds)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestHistogramBucketMath:
+    @given(values=st.lists(finite_floats, max_size=50), bounds=bounds_layouts)
+    def test_every_value_lands_in_exactly_one_bucket(self, values, bounds):
+        histogram = histogram_of(values, bounds)
+        assert sum(histogram.counts) == len(values) == histogram.count
+
+    @given(value=finite_floats, bounds=bounds_layouts)
+    def test_bucket_placement_brackets_the_value(self, value, bounds):
+        histogram = histogram_of([value], bounds)
+        index = histogram.counts.index(1)
+        if index > 0:
+            assert value > bounds[index - 1]
+        if index < len(bounds):
+            assert value <= bounds[index]
+
+    @given(
+        left=st.lists(finite_floats, max_size=30),
+        right=st.lists(finite_floats, max_size=30),
+        bounds=bounds_layouts,
+    )
+    def test_merge_equals_histogram_of_concatenation(
+        self, left, right, bounds
+    ):
+        merged = histogram_of(left, bounds)
+        merged.merge(histogram_of(right, bounds))
+        whole = histogram_of(left + right, bounds)
+        assert merged.counts == whole.counts
+        assert merged.count == whole.count
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+
+    @given(
+        parts=st.lists(
+            st.lists(st.integers(min_value=0, max_value=10**6), max_size=20),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_merge_is_associative_for_integer_values(self, parts):
+        """With integer observations the float sum is exact, so both
+        association orders agree on every field, sum included."""
+        a, b, c = parts
+        bounds = VOLUME_BOUNDS
+
+        left = histogram_of(a, bounds)
+        left.merge(histogram_of(b, bounds))
+        left.merge(histogram_of(c, bounds))
+
+        bc = histogram_of(b, bounds)
+        bc.merge(histogram_of(c, bounds))
+        right = histogram_of(a, bounds)
+        right.merge(bc)
+
+        assert left.to_dict() == right.to_dict()
+
+    @given(values=st.lists(finite_floats, max_size=30), bounds=bounds_layouts)
+    def test_empty_histogram_is_merge_identity(self, values, bounds):
+        histogram = histogram_of(values, bounds)
+        before = histogram.to_dict()
+        histogram.merge(Histogram(bounds))
+        assert histogram.to_dict() == before
+
+        empty = Histogram(bounds)
+        empty.merge(histogram_of(values, bounds))
+        assert empty.to_dict() == before
+
+
+class TestRegistryMerge:
+    @given(parts=st.lists(counter_dicts, min_size=3, max_size=3))
+    def test_counter_merge_is_associative(self, parts):
+        def registry_of(counters):
+            registry = MetricsRegistry()
+            for name, value in counters.items():
+                registry.count(name, value)
+            return registry
+
+        a, b, c = parts
+        left = registry_of(a)
+        left.merge(registry_of(b))
+        left.merge(registry_of(c))
+
+        bc = registry_of(b)
+        bc.merge(registry_of(c))
+        right = registry_of(a)
+        right.merge(bc)
+
+        assert left.counters == right.counters
+
+    @given(parts=st.lists(counter_dicts, min_size=1, max_size=4))
+    def test_no_value_loss_across_any_partition(self, parts):
+        merged = MetricsRegistry()
+        for counters in parts:
+            shard = MetricsRegistry()
+            for name, value in counters.items():
+                shard.count(name, value)
+            merged.merge(shard)
+        expected: dict[str, int] = {}
+        for counters in parts:
+            for name, value in counters.items():
+                expected[name] = expected.get(name, 0) + value
+        assert merged.counters == expected
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=30,
+        ),
+        cut=st.integers(min_value=0, max_value=30),
+    )
+    def test_span_stats_merge_matches_single_stream(self, values, cut):
+        cut = min(cut, len(values))
+        merged = SpanStats()
+        for value in values[:cut]:
+            merged.record(value)
+        tail = SpanStats()
+        for value in values[cut:]:
+            tail.record(value)
+        merged.merge(tail)
+
+        whole = SpanStats()
+        for value in values:
+            whole.record(value)
+        assert merged.count == whole.count
+        assert merged.min_s == whole.min_s
+        assert merged.max_s == whole.max_s
+        assert abs(merged.total_s - whole.total_s) <= 1e-6 * max(
+            1.0, abs(whole.total_s)
+        )
+
+    @given(values=st.lists(finite_floats, max_size=20), bounds=bounds_layouts)
+    def test_export_roundtrip_preserves_histograms(self, values, bounds):
+        registry = MetricsRegistry()
+        for value in values:
+            registry.observe("h", value, bounds)
+        restored = MetricsRegistry.from_export(registry.export())
+        assert restored.export() == registry.export()
