@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Nightly integrity soak: stress the pipeline end to end and audit it.
+
+Runs the full robustness story in one go, against the `stress` fault
+profile (outages + churn + lossy transport + checkpoint corruption +
+log corruption + worker crashes):
+
+1. serial vs parallel at 2 and 4 workers — dataset digest and collector
+   accounting must be identical;
+2. a checkpointed run (corruption faults live) killed mid-window and
+   resumed — digest must equal the uninterrupted serial run;
+3. a corrupted JSONL export, recovered leniently — `repro verify` must
+   PASS (every loss quarantined with provenance) and the recovery
+   accounting must balance;
+4. a deliberately mangled copy without recovery — `repro verify` must
+   FAIL (unexplained damage is never waved through).
+
+Exit code 0 only when every check holds.  Designed for the scheduled
+`soak` workflow but runnable locally:
+
+    PYTHONPATH=src python scripts/soak.py --scale 1e-4
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import shutil
+import sys
+import tempfile
+from datetime import date
+from pathlib import Path
+
+from repro import telemetry
+from repro.attackers.orchestrator import run_simulation
+from repro.config import SimulationConfig
+from repro.faults.corruption import build_log_corruptor, corrupt_file
+from repro.faults.plan import FaultProfile
+from repro.honeynet.io import read_jsonl, recover_jsonl, write_jsonl
+from repro.integrity.verify import audit_tree
+from repro.util.rng import RngTree
+
+#: A window long enough to cross the paper outage and several churn
+#: events, short enough for a nightly job.
+SOAK_WINDOW = dict(start=date(2023, 8, 1), end=date(2023, 11, 15))
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    raise SystemExit(1)
+
+
+def check_parallel_equivalence(config: SimulationConfig, serial) -> None:
+    for workers in (2, 4):
+        with telemetry.collecting() as registry:
+            parallel = run_simulation(config, workers=workers)
+        crashes = registry.counters.get("parallel.worker_crashes", 0)
+        retries = registry.counters.get("parallel.shard_retries", 0)
+        fallbacks = registry.counters.get("parallel.serial_fallbacks", 0)
+        print(
+            f"workers={workers}: digest {parallel.database.digest()[:16]}… "
+            f"({crashes} crashes, {retries} retries, {fallbacks} fallbacks)"
+        )
+        if parallel.database.digest() != serial.database.digest():
+            fail(f"parallel digest diverged at workers={workers}")
+        if parallel.collector.accounting() != serial.collector.accounting():
+            fail(f"collector accounting diverged at workers={workers}")
+
+
+def check_checkpoint_recovery(
+    config: SimulationConfig, serial, work: Path
+) -> None:
+    checkpoint = work / "soak.ckpt"
+    with telemetry.collecting() as registry:
+        run_simulation(
+            config,
+            checkpoint_path=checkpoint,
+            checkpoint_every_days=14,
+            stop_after=date(2023, 10, 2),
+        )
+        resumed = run_simulation(
+            config, checkpoint_path=checkpoint, resume=True
+        )
+    corruptions = registry.counters.get("checkpoint.corruptions", 0)
+    rejected = registry.counters.get("checkpoint.rejected_generations", 0)
+    print(
+        f"checkpoint resume: {corruptions} saves corrupted, "
+        f"{rejected} generations rejected at resume"
+    )
+    if resumed.database.digest() != serial.database.digest():
+        fail("resumed digest diverged from uninterrupted serial run")
+    audit = audit_tree(work)
+    if not audit.ok:
+        print(audit.render())
+        fail("checkpoint tree failed verification")
+
+
+def check_export_recovery(config: SimulationConfig, serial, work: Path) -> None:
+    export_dir = work / "export"
+    export_dir.mkdir()
+    path = export_dir / "sessions.jsonl"
+    corruptor = build_log_corruptor(
+        config.faults.integrity,
+        RngTree(config.seed).child("faults", "integrity", "log", path.name),
+    )
+    write_jsonl(serial.database.sessions, path, corruptor=corruptor)
+    report = recover_jsonl(path).report
+    read_jsonl(path, mode="lenient")  # populate the quarantine store
+    print(
+        f"export: {report.recovered} recovered, {report.duplicates} duplicates "
+        f"dropped, {report.reordered} reordered, {report.lost} quarantined"
+    )
+    if not report.conservation_balanced():
+        fail("recovery conservation accounting does not balance")
+    audit = audit_tree(export_dir)
+    print(audit.render())
+    if not audit.ok:
+        fail("recovered export tree failed verification")
+    if audit.records_lost != audit.quarantine_entries:
+        fail("quarantine store does not cover every lost record")
+
+
+def check_mangled_tree_fails(serial, work: Path) -> None:
+    mangled_dir = work / "mangled"
+    mangled_dir.mkdir()
+    path = mangled_dir / "sessions.jsonl"
+    write_jsonl(serial.database.sessions[:500], path)
+    corrupt_file(path, random.Random(7))
+    audit = audit_tree(mangled_dir)
+    if audit.ok:
+        fail("verify passed a mangled, unrecovered tree")
+    print(f"mangled tree correctly rejected ({len(audit.unexplained())} findings)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=33)
+    parser.add_argument("--scale", type=float, default=1e-4)
+    parser.add_argument(
+        "--keep", type=Path, default=None, metavar="DIR",
+        help="keep work artifacts in DIR instead of a temp directory",
+    )
+    args = parser.parse_args(argv)
+
+    config = SimulationConfig(
+        seed=args.seed,
+        scale=args.scale,
+        faults=FaultProfile.stress(),
+        **SOAK_WINDOW,
+    )
+    print(f"== soak: stress profile, seed={args.seed}, scale={args.scale} ==")
+    serial = run_simulation(config)
+    print(f"serial digest: {serial.database.digest()}")
+
+    work = args.keep or Path(tempfile.mkdtemp(prefix="soak-"))
+    work.mkdir(parents=True, exist_ok=True)
+    try:
+        check_parallel_equivalence(config, serial)
+        check_checkpoint_recovery(config, serial, work)
+        check_export_recovery(config, serial, work)
+        check_mangled_tree_fails(serial, work)
+    finally:
+        if args.keep is None:
+            shutil.rmtree(work, ignore_errors=True)
+    print("PASS: all soak checks held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

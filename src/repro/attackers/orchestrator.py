@@ -34,10 +34,12 @@ from repro.attackers.infrastructure import StorageInfrastructure
 from repro.attackers.malware import MalwareFactory
 from repro.config import SimulationConfig
 from repro.faults.checkpoint import (
-    load_checkpoint,
+    has_checkpoint,
+    load_latest_checkpoint,
     restore_state,
     save_checkpoint,
 )
+from repro.faults.corruption import build_checkpoint_corruptor
 from repro.faults.coverage import CoverageReport, build_coverage_report
 from repro.faults.plan import FaultPlan, compile_fault_plan
 from repro.faults.transport import (
@@ -150,6 +152,17 @@ class SimulationSubstrate:
         """Preset every honeypot's session counter (absent ids → 0)."""
         for honeypot in self.honeynet.honeypots:
             honeypot._counter = counters.get(honeypot.honeypot_id, 0)
+
+    def checkpoint_corruptor(self):
+        """This run's checkpoint-corruption fault hook (None when inert).
+
+        Keyed under the fault subtree so corruption decisions are a pure
+        function of (seed, save event), shared by both engines.
+        """
+        return build_checkpoint_corruptor(
+            self.config.faults.integrity,
+            self.tree.child("faults", "integrity", "checkpoint"),
+        )
 
 
 def build_substrate(
@@ -310,6 +323,53 @@ def _finish_result(
     )
 
 
+def _resume_state(
+    checkpoint_path: Path | str | None,
+    config: SimulationConfig,
+    honeynet: Honeynet,
+    collector: Collector,
+) -> date | None:
+    """Restore the newest valid checkpoint generation, loudly.
+
+    Shared by the serial loop and the parallel engine.  Returns the
+    first day left to simulate, or ``None`` when no usable checkpoint
+    exists (the caller starts fresh).  Generations rejected as corrupt
+    are reported via warnings and ``checkpoint.*`` telemetry — a
+    corrupted checkpoint costs re-simulated days, never silence.
+    """
+    if checkpoint_path is None:
+        raise ValueError("resume=True requires a checkpoint_path")
+    if not has_checkpoint(checkpoint_path):
+        logger.info("no checkpoint at %s; starting fresh", checkpoint_path)
+        return None
+    checkpoint, rejected = load_latest_checkpoint(checkpoint_path, config)
+    for note in rejected:
+        logger.warning("rejected checkpoint generation: %s", note)
+    if rejected:
+        telemetry.count("checkpoint.rejected_generations", len(rejected))
+    if checkpoint is None:
+        logger.warning(
+            "every checkpoint generation at %s is corrupt (%d rejected); "
+            "starting fresh — the full window will be re-simulated",
+            checkpoint_path, len(rejected),
+        )
+        return None
+    first_day = restore_state(checkpoint, honeynet, collector)
+    telemetry.count("checkpoint.resumes")
+    if rejected:
+        telemetry.count("checkpoint.recovered_resumes")
+        logger.warning(
+            "resumed from an older checkpoint generation after rejecting "
+            "%d corrupt one(s); days after %s will be re-simulated",
+            len(rejected), first_day,
+        )
+    logger.info(
+        "resumed from %s: %d sessions, next day %s",
+        checkpoint_path, len(collector.sessions), first_day,
+    )
+    return first_day
+
+
 def run_simulation(
     config: SimulationConfig,
     extra_bots_factory=None,
@@ -329,9 +389,13 @@ def run_simulation(
 
     Checkpointing: with ``checkpoint_path`` set, collector state and the
     day cursor are saved every ``checkpoint_every_days`` simulated days
-    (atomic overwrite).  ``resume=True`` restores that state and
-    continues from the saved cursor; a missing checkpoint file simply
-    starts from scratch.  ``stop_after`` ends the loop after the given
+    (atomic write, rotated generations).  ``resume=True`` restores the
+    newest generation that passes its checksums and continues from the
+    saved cursor; corrupt generations are rejected loudly and cost
+    re-simulated days, and a missing checkpoint simply starts from
+    scratch.  With the fault profile's integrity knobs enabled, each
+    save may be deliberately corrupted — the recovery path above is what
+    keeps the digest identical anyway.  ``stop_after`` ends the loop after the given
     day (checkpointing first, when enabled), modelling a controlled
     shutdown mid-window; the returned result then covers only the
     simulated prefix.
@@ -368,22 +432,14 @@ def run_simulation(
 
     first_day = config.start
     if resume:
-        if checkpoint_path is None:
-            raise ValueError("resume=True requires a checkpoint_path")
-        if Path(checkpoint_path).exists():
-            checkpoint = load_checkpoint(checkpoint_path, config)
-            first_day = restore_state(checkpoint, honeynet, collector)
-            telemetry.count("checkpoint.resumes")
-            logger.info(
-                "resumed from %s: %d sessions, next day %s",
-                checkpoint_path, len(collector.sessions), first_day,
-            )
-        else:
-            logger.info(
-                "no checkpoint at %s; starting fresh", checkpoint_path
-            )
-    if checkpoint_path is not None and checkpoint_every_days is None:
-        checkpoint_every_days = DEFAULT_CHECKPOINT_EVERY_DAYS
+        restored = _resume_state(checkpoint_path, config, honeynet, collector)
+        if restored is not None:
+            first_day = restored
+    corruptor = None
+    if checkpoint_path is not None:
+        corruptor = substrate.checkpoint_corruptor()
+        if checkpoint_every_days is None:
+            checkpoint_every_days = DEFAULT_CHECKPOINT_EVERY_DAYS
 
     started = time.monotonic()
     logger.info(
@@ -419,7 +475,7 @@ def run_simulation(
             ):
                 save_checkpoint(
                     checkpoint_path, config, day + timedelta(days=1),
-                    honeynet, collector,
+                    honeynet, collector, corruptor=corruptor,
                 )
                 telemetry.count("checkpoint.saves")
                 logger.debug("checkpointed through %s", day)

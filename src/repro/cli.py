@@ -13,6 +13,9 @@ Subcommands:
   record the numbers as JSON.
 * ``telemetry``   — run the pipeline with telemetry enabled and print
   the run report (see docs/observability.md).
+* ``verify``      — audit a dataset/checkpoint tree (manifests,
+  checksums, quarantine) and exit non-zero on unexplained
+  discrepancies (see docs/fault-model.md).
 
 Every subcommand accepts ``--fault-profile {none,paper,stress}``; the
 default ``paper`` models exactly the deployment the paper describes.
@@ -78,8 +81,8 @@ def _telemetry_meta(args: argparse.Namespace) -> dict:
     """Run identification recorded in every telemetry document."""
     return {
         "command": args.command,
-        "seed": args.seed,
-        "scale": args.scale,
+        "seed": getattr(args, "seed", DEFAULT_CONFIG.seed),
+        "scale": getattr(args, "scale", DEFAULT_CONFIG.scale),
         "fault_profile": getattr(args, "fault_profile", "paper"),
         "workers": getattr(args, "workers", 1),
     }
@@ -239,9 +242,45 @@ def cmd_faults(args: argparse.Namespace) -> int:
             "worst sensors: "
             + ", ".join(f"{hp} ({frac:.1%})" for hp, frac in worst)
         )
+    if args.export is not None:
+        from repro.faults.corruption import build_log_corruptor
+        from repro.honeynet.io import write_jsonl
+        from repro.util.rng import RngTree
+
+        corruptor = build_log_corruptor(
+            profile.integrity,
+            RngTree(config.seed).child(
+                "faults", "integrity", "log", args.export.name
+            ),
+        )
+        count = write_jsonl(
+            result.database.sessions, args.export, corruptor=corruptor
+        )
+        print()
+        flavor = (
+            "with injected corruption (recover via lenient read / "
+            "repro verify)" if corruptor is not None else "clean"
+        )
+        print(f"exported {count} records to {args.export} (+manifest), {flavor}")
+
     print()
     print(f"dataset digest: {result.database.digest()}")
     return 0 if balanced else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Audit an artifact tree; exit 1 on unexplained discrepancies."""
+    from repro.integrity.verify import audit_tree
+
+    if not args.path.exists():
+        print(f"no such path: {args.path}", file=sys.stderr)
+        return 2
+    audit = audit_tree(args.path, quarantine=args.quarantine)
+    print(audit.render())
+    if args.json is not None:
+        args.json.write_text(audit.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0 if audit.ok else 1
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
@@ -519,7 +558,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop-after", type=date.fromisoformat, default=None, metavar="DATE",
         help="controlled stop after this simulated day (YYYY-MM-DD)",
     )
+    faults.add_argument(
+        "--export", type=Path, default=None, metavar="PATH",
+        help="write the resulting dataset as JSONL (+ sidecar manifest); "
+        "corruption faults from the active profile apply to the export",
+    )
     faults.set_defaults(func=cmd_faults)
+
+    verify = commands.add_parser(
+        "verify",
+        help="audit a dataset/checkpoint tree for integrity "
+        "(manifests, checksums, quarantine coverage)",
+    )
+    verify.add_argument(
+        "path", type=Path, nargs="?", default=Path("."),
+        help="file or directory tree to audit (default: current directory)",
+    )
+    verify.add_argument(
+        "--quarantine", type=Path, default=None, metavar="DIR",
+        help="quarantine store to check losses against "
+        "(default: <path>/quarantine)",
+    )
+    verify.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the audit as JSON to this path",
+    )
+    verify.set_defaults(func=cmd_verify)
     return parser
 
 

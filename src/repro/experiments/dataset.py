@@ -32,7 +32,11 @@ from repro.attackers.bots.mdrfckr import MDRFCKR_KEY
 from repro.attackers.bots.named_campaigns import RAPPERBOT_KEY
 from repro.attackers.orchestrator import SimulationResult, run_simulation
 from repro.config import SimulationConfig
-from repro.faults.coverage import CoverageReport, validate_coverage
+from repro.faults.coverage import (
+    CoverageReport,
+    integrity_note,
+    validate_coverage,
+)
 from repro.honeypot.session import SessionRecord
 from repro.util.hashing import sha256_hex
 from repro.util.rng import RngTree
@@ -87,9 +91,18 @@ class Dataset:
         flags October 2023 (the 48-hour outage), and under degraded
         profiles every month whose sensor-day coverage is incomplete —
         so a dark month reads as "instrument gap", never "attacks
-        stopped".
+        stopped".  When records were lost to storage corruption and
+        quarantined (a recovered dataset rather than a live run), the
+        loss is annotated too.
         """
-        return self.coverage.notes()
+        notes = self.coverage.notes()
+        collector = self.simulation.collector
+        note = integrity_note(
+            collector.quarantined, collector.accounting()["generated"]
+        )
+        if note is not None:
+            notes.append(note)
+        return notes
 
     def file_sessions(self) -> list[SessionRecord]:
         """Sessions in which a payload was loaded (the clustering input).

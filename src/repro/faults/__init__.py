@@ -12,8 +12,14 @@ the simulation:
 * :mod:`repro.faults.transport` — the resilient honeypot→collector
   delivery channel (retries with exponential backoff + jitter, a
   dead-letter queue, idempotent dedup).
-* :mod:`repro.faults.checkpoint` — periodic checkpointing of collector
-  state so a killed run can resume mid-window to an identical dataset.
+* :mod:`repro.faults.checkpoint` — periodic, self-verifying, rotated
+  checkpointing of collector state so a killed run — even one whose
+  newest checkpoint was corrupted on disk — can resume mid-window to an
+  identical dataset.
+* :mod:`repro.faults.corruption` — seeded *storage* faults: bit-flips
+  and truncation of checkpoint files, mangled/duplicated/reordered
+  session-log lines, and injected worker crashes for the parallel
+  engine.
 * :mod:`repro.faults.coverage` — per-month / per-sensor coverage
   accounting so degraded datasets are analysed with explicit gap
   annotations instead of silently misread.
@@ -25,20 +31,31 @@ direction is ``faults → config → everything else``.
 
 from repro.faults.checkpoint import (
     CheckpointError,
+    audit_checkpoint,
     config_fingerprint,
+    has_checkpoint,
     load_checkpoint,
+    load_latest_checkpoint,
     restore_state,
     save_checkpoint,
+)
+from repro.faults.corruption import (
+    WorkerCrash,
+    build_checkpoint_corruptor,
+    build_log_corruptor,
+    crash_point,
 )
 from repro.faults.coverage import (
     CoverageError,
     CoverageReport,
     build_coverage_report,
+    integrity_note,
     validate_coverage,
 )
 from repro.faults.plan import (
     FaultPlan,
     FaultProfile,
+    IntegrityFaults,
     OutageWindow,
     SensorDowntime,
     TransportFaults,
@@ -58,16 +75,25 @@ __all__ = [
     "DirectChannel",
     "FaultPlan",
     "FaultProfile",
+    "IntegrityFaults",
     "OutageWindow",
     "ResilientChannel",
     "RetryPolicy",
     "SensorDowntime",
     "TransportFaults",
+    "WorkerCrash",
+    "audit_checkpoint",
     "build_channel",
+    "build_checkpoint_corruptor",
     "build_coverage_report",
+    "build_log_corruptor",
     "compile_fault_plan",
     "config_fingerprint",
+    "crash_point",
+    "has_checkpoint",
+    "integrity_note",
     "load_checkpoint",
+    "load_latest_checkpoint",
     "restore_state",
     "save_checkpoint",
     "validate_coverage",

@@ -10,9 +10,23 @@ those two pieces and fast-forwarding the day cursor.  The resumed run
 produces a byte-identical dataset digest.
 
 The checkpoint is one JSON document written atomically (temp file +
-rename).  It embeds a fingerprint of the producing configuration;
-loading it under a different configuration fails loudly instead of
-silently mixing incompatible state.
+fsync + rename).  It embeds a fingerprint of the producing
+configuration; loading it under a different configuration fails loudly
+instead of silently mixing incompatible state.
+
+Since format version 2 the checkpoint is also *self-verifying* and
+*rotated*:
+
+* every serialized session record carries a content checksum, and every
+  top-level section (counters, honeypot counters, sessions, dead
+  letters) carries a section checksum — a bit-flip that still parses as
+  JSON is detected, not resumed from;
+* each save rotates the previous generations (``run.ckpt`` →
+  ``run.ckpt.1`` → ``run.ckpt.2``, keeping :data:`CHECKPOINT_GENERATIONS`
+  files), and :func:`load_latest_checkpoint` resumes from the newest
+  generation that validates, reporting every one it had to reject.  A
+  corrupted checkpoint therefore costs re-simulated days, never a wrong
+  dataset.
 """
 
 from __future__ import annotations
@@ -24,7 +38,8 @@ from datetime import date
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.honeypot.session import SessionRecord
+from repro.integrity.checksums import seal, section_checksum
+from repro.util.fsio import atomic_write_text
 from repro.util.hashing import sha256_hex
 
 # NOTE: repro.honeynet.io is imported inside the (de)serialization
@@ -34,11 +49,16 @@ from repro.util.hashing import sha256_hex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.config import SimulationConfig
+    from repro.faults.corruption import CheckpointCorruptor
     from repro.honeynet.collector import Collector
     from repro.honeynet.deployment import Honeynet
 
 #: Format version written into every checkpoint.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: How many checkpoint generations are kept on disk (newest first:
+#: ``path``, ``path.1``, ``path.2``).
+CHECKPOINT_GENERATIONS = 3
 
 #: Counter names serialized from / restored into the collector.
 _COUNTER_KEYS = (
@@ -48,11 +68,32 @@ _COUNTER_KEYS = (
     "retried",
     "deduplicated",
     "dead_lettered",
+    "quarantined",
 )
+
+#: Document sections covered by per-section checksums.
+_SECTIONS = ("honeypot_counters", "counters", "sessions", "dead_letters")
 
 
 class CheckpointError(ValueError):
-    """Raised for malformed, incompatible or mismatched checkpoints."""
+    """Raised for malformed, incompatible or mismatched checkpoints.
+
+    Carries the offending ``path`` and a stable ``reason`` slug
+    (``unreadable``, ``unsupported-version``, ``section-checksum``,
+    ``config-mismatch``, ``malformed``) so recovery code can tell a
+    corrupt generation (skippable) from a config mismatch (fatal).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Path | str | None = None,
+        reason: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+        self.reason = reason
 
 
 def config_fingerprint(config: "SimulationConfig") -> str:
@@ -80,8 +121,30 @@ class Checkpoint:
     next_day: date
     honeypot_counters: dict[str, int]
     counters: dict[str, int]
-    sessions: list[SessionRecord]
-    dead_letters: list[SessionRecord]
+    sessions: list
+    dead_letters: list
+
+
+def checkpoint_generations(path: Path | str) -> list[Path]:
+    """Candidate files for ``path``'s rotation scheme, newest first."""
+    path = Path(path)
+    return [path] + [
+        path.with_name(f"{path.name}.{generation}")
+        for generation in range(1, CHECKPOINT_GENERATIONS)
+    ]
+
+
+def has_checkpoint(path: Path | str) -> bool:
+    """Does any generation exist for ``path``?"""
+    return any(candidate.exists() for candidate in checkpoint_generations(path))
+
+
+def _rotate_generations(path: Path) -> None:
+    """Shift existing generations down one slot (oldest falls off)."""
+    candidates = checkpoint_generations(path)
+    for older, newer in zip(reversed(candidates), reversed(candidates[:-1])):
+        if newer.exists():
+            os.replace(newer, older)
 
 
 def save_checkpoint(
@@ -89,57 +152,106 @@ def save_checkpoint(
     config: "SimulationConfig",
     next_day: date,
     honeynet: "Honeynet",
-    collector: Collector,
+    collector: "Collector",
+    *,
+    corruptor: "CheckpointCorruptor | None" = None,
 ) -> None:
     """Atomically write the full resumable state to ``path``.
 
     ``next_day`` is the first day the resumed loop should simulate.
+    The previous file (and its predecessors) are rotated into numbered
+    generations first, so a save that later turns out corrupt never
+    destroys the last good snapshot.  ``corruptor`` is the fault hook:
+    when set, the freshly written file may be damaged in place
+    (:class:`~repro.faults.corruption.CheckpointCorruptor`).
     """
     from repro.honeynet.io import session_to_dict
 
-    document = {
-        "v": CHECKPOINT_VERSION,
-        "fingerprint": config_fingerprint(config),
-        "next_day": next_day.isoformat(),
+    sections = {
         "honeypot_counters": {
             honeypot.honeypot_id: honeypot._counter
             for honeypot in honeynet.honeypots
             if honeypot._counter
         },
-        "counters": {
-            key: getattr(collector, key) for key in _COUNTER_KEYS
+        "counters": {key: getattr(collector, key) for key in _COUNTER_KEYS},
+        "sessions": [seal(session_to_dict(s)) for s in collector.sessions],
+        "dead_letters": [
+            seal(session_to_dict(s)) for s in collector.dead_letters
+        ],
+    }
+    document = {
+        "v": CHECKPOINT_VERSION,
+        "fingerprint": config_fingerprint(config),
+        "next_day": next_day.isoformat(),
+        "checksums": {
+            name: section_checksum(sections[name]) for name in _SECTIONS
         },
-        "sessions": [session_to_dict(s) for s in collector.sessions],
-        "dead_letters": [session_to_dict(s) for s in collector.dead_letters],
+        **sections,
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    temp = path.with_name(path.name + ".tmp")
-    temp.write_text(json.dumps(document), encoding="utf-8")
-    os.replace(temp, path)
+    _rotate_generations(path)
+    atomic_write_text(path, json.dumps(document))
+    if corruptor is not None:
+        corruptor.maybe_corrupt(path, key=next_day.toordinal())
 
 
-def load_checkpoint(path: Path | str, config: "SimulationConfig") -> Checkpoint:
-    """Read and validate a checkpoint written for ``config``."""
-    from repro.honeynet.io import session_from_dict
-
+def _read_document(path: Path | str) -> dict:
     try:
         document = json.loads(Path(path).read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as error:
-        raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
+    except (OSError, ValueError) as error:
+        # ValueError covers both JSONDecodeError and UnicodeDecodeError
+        # (a flipped bit can break UTF-8 before it breaks JSON).
+        raise CheckpointError(
+            f"unreadable checkpoint {path}: {error}",
+            path=path,
+            reason="unreadable",
+        ) from error
+    if not isinstance(document, dict):
+        raise CheckpointError(
+            f"unreadable checkpoint {path}: not a JSON object",
+            path=path,
+            reason="unreadable",
+        )
+    return document
+
+
+def _validate_document(document: dict, path: Path | str) -> None:
     version = document.get("v")
     if version != CHECKPOINT_VERSION:
-        raise CheckpointError(f"unsupported checkpoint version: {version!r}")
-    fingerprint = document.get("fingerprint", "")
-    expected = config_fingerprint(config)
-    if fingerprint != expected:
         raise CheckpointError(
-            "checkpoint was written by a different configuration "
-            f"(fingerprint {fingerprint[:12]}… != expected {expected[:12]}…)"
+            f"unsupported checkpoint version: {version!r}",
+            path=path,
+            reason="unsupported-version",
         )
+    checksums = document.get("checksums")
+    if not isinstance(checksums, dict):
+        raise CheckpointError(
+            f"malformed checkpoint: missing section checksums in {path}",
+            path=path,
+            reason="malformed",
+        )
+    for name in _SECTIONS:
+        if name not in document:
+            raise CheckpointError(
+                f"malformed checkpoint: missing section {name!r} in {path}",
+                path=path,
+                reason="malformed",
+            )
+        if section_checksum(document[name]) != checksums.get(name):
+            raise CheckpointError(
+                f"checkpoint section {name!r} failed its checksum in {path}",
+                path=path,
+                reason="section-checksum",
+            )
+
+
+def _checkpoint_from_document(document: dict, path: Path | str) -> Checkpoint:
+    from repro.honeynet.io import SessionLogError, session_from_dict
+
     try:
         return Checkpoint(
-            fingerprint=fingerprint,
+            fingerprint=document.get("fingerprint", ""),
             next_day=date.fromisoformat(document["next_day"]),
             honeypot_counters={
                 str(key): int(value)
@@ -154,12 +266,74 @@ def load_checkpoint(path: Path | str, config: "SimulationConfig") -> Checkpoint:
                 session_from_dict(p) for p in document["dead_letters"]
             ],
         )
-    except (KeyError, TypeError, ValueError) as error:
-        raise CheckpointError(f"malformed checkpoint: {error}") from error
+    except (KeyError, TypeError, ValueError, SessionLogError) as error:
+        raise CheckpointError(
+            f"malformed checkpoint: {error}", path=path, reason="malformed"
+        ) from error
+
+
+def audit_checkpoint(path: Path | str) -> str | None:
+    """Structural validity of one checkpoint file, without a config.
+
+    Returns ``None`` when the file parses, passes every section and
+    record checksum, and deserializes; otherwise the problem as text.
+    Used by ``repro verify``, which audits trees it has no
+    :class:`~repro.config.SimulationConfig` for.
+    """
+    try:
+        document = _read_document(path)
+        _validate_document(document, path)
+        _checkpoint_from_document(document, path)
+    except CheckpointError as error:
+        return str(error)
+    return None
+
+
+def load_checkpoint(path: Path | str, config: "SimulationConfig") -> Checkpoint:
+    """Read and validate one checkpoint file written for ``config``."""
+    document = _read_document(path)
+    _validate_document(document, path)
+    fingerprint = document.get("fingerprint", "")
+    expected = config_fingerprint(config)
+    if fingerprint != expected:
+        raise CheckpointError(
+            "checkpoint was written by a different configuration "
+            f"(fingerprint {fingerprint[:12]}… != expected {expected[:12]}…)",
+            path=path,
+            reason="config-mismatch",
+        )
+    return _checkpoint_from_document(document, path)
+
+
+def load_latest_checkpoint(
+    path: Path | str, config: "SimulationConfig"
+) -> tuple[Checkpoint | None, list[str]]:
+    """Resume state from the newest *valid* generation of ``path``.
+
+    Walks ``path``, ``path.1``, ``path.2`` … newest first, skipping
+    generations that are unreadable or fail their checksums.  Returns
+    ``(checkpoint, rejected)`` where ``rejected`` lists one message per
+    generation that had to be skipped — callers must surface these
+    loudly.  Returns ``(None, rejected)`` when no generation survives
+    (the caller starts fresh).  A generation written by a *different
+    configuration* is never skipped over: that raises, because silently
+    resuming past it could mix state from two different runs.
+    """
+    rejected: list[str] = []
+    for candidate in checkpoint_generations(path):
+        if not candidate.exists():
+            continue
+        try:
+            return load_checkpoint(candidate, config), rejected
+        except CheckpointError as error:
+            if error.reason == "config-mismatch":
+                raise
+            rejected.append(str(error))
+    return None, rejected
 
 
 def restore_state(
-    checkpoint: Checkpoint, honeynet: "Honeynet", collector: Collector
+    checkpoint: Checkpoint, honeynet: "Honeynet", collector: "Collector"
 ) -> date:
     """Apply a checkpoint; returns the first day left to simulate."""
     collector.restore(

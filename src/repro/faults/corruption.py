@@ -1,0 +1,165 @@
+"""Seeded corruption and crash events for persisted artifacts.
+
+The loss model (:mod:`repro.faults.transport`) breaks records *in
+flight*; this module breaks what has already been written — checkpoint
+files on disk, session-log lines in an export stream — and kills shard
+workers mid-run.  Like every other fault, the events are drawn from
+seed-derived :class:`~repro.util.rng.RngTree` streams keyed by artifact
+and attempt, so the same seed corrupts the same bytes every run and the
+simulation's own record streams are never perturbed.
+
+This module must not import :mod:`repro.config` (the config module
+embeds :class:`~repro.faults.plan.FaultProfile`, which carries our
+:class:`~repro.faults.plan.IntegrityFaults` knobs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import telemetry
+from repro.faults.plan import IntegrityFaults
+from repro.util.rng import RngTree
+
+
+class WorkerCrash(RuntimeError):
+    """An injected shard-worker death (simulated process crash).
+
+    Raised inside a worker; the parallel engine treats it exactly like a
+    real crash: the shard's partial output is discarded, the shard is
+    deterministically re-executed, and bounded retries fall back to
+    serial in-process execution.
+    """
+
+
+def crash_point(
+    faults: IntegrityFaults | None,
+    seed: int,
+    shard_index: int,
+    attempt: int,
+    days: int,
+) -> int | None:
+    """After how many simulated days attempt ``attempt`` of this shard dies.
+
+    ``None`` means the attempt survives.  Keyed by ``(shard, attempt)``
+    so retries of a crashed shard roll fresh — a crash schedule can kill
+    several attempts in a row (forcing the serial fallback) without ever
+    being able to loop forever.
+    """
+    if faults is None or faults.worker_crash_probability <= 0.0 or days <= 0:
+        return None
+    rng = RngTree(seed).child("faults", "integrity", "crash", shard_index, attempt).rand()
+    if rng.random() >= faults.worker_crash_probability:
+        return None
+    return rng.randrange(days)
+
+
+def _mangle_line(line: str, rng: random.Random) -> str:
+    """Damage one line: truncate it, or flip one character."""
+    if not line:
+        return line
+    if rng.random() < 0.5:
+        return line[: rng.randrange(0, len(line))]
+    index = rng.randrange(len(line))
+    replacement = "~" if line[index] != "~" else "#"
+    return line[:index] + replacement + line[index + 1 :]
+
+
+@dataclass(frozen=True)
+class LogCorruptor:
+    """Mangles, duplicates and reorders session-log lines on export.
+
+    Applied by :func:`repro.honeynet.io.write_jsonl` *after* the sidecar
+    manifest is computed over the clean lines — the manifest records
+    what the writer meant, the file records what the fault model let
+    through, and the reader reconciles the two.
+    """
+
+    faults: IntegrityFaults
+    tree: RngTree
+
+    def corrupt_lines(self, lines: list[str]) -> list[str]:
+        """The on-disk line sequence for the given clean lines."""
+        rng = self.tree.rand()
+        faults = self.faults
+        out: list[str] = []
+        for line in lines:
+            roll = rng.random()
+            if roll < faults.line_mangle_probability:
+                out.append(_mangle_line(line, rng))
+                telemetry.count("integrity.injected.mangled")
+            elif roll < (
+                faults.line_mangle_probability + faults.line_duplicate_probability
+            ):
+                out.append(line)
+                out.append(line)
+                telemetry.count("integrity.injected.duplicated")
+            else:
+                out.append(line)
+        if faults.line_reorder_probability > 0.0:
+            index = 0
+            while index < len(out) - 1:
+                if rng.random() < faults.line_reorder_probability:
+                    out[index], out[index + 1] = out[index + 1], out[index]
+                    telemetry.count("integrity.injected.reordered")
+                    index += 2
+                else:
+                    index += 1
+        return out
+
+
+@dataclass(frozen=True)
+class CheckpointCorruptor:
+    """Bit-flips or truncates checkpoint files after they are saved."""
+
+    probability: float
+    tree: RngTree
+
+    def maybe_corrupt(self, path: Path | str, key: int) -> bool:
+        """Corrupt the file at ``path`` with the configured probability.
+
+        ``key`` identifies the save event (the resume cursor's ordinal),
+        so the decision is independent of how the run reached this save.
+        Returns True when the file was damaged.
+        """
+        rng = self.tree.child(int(key)).rand()
+        if rng.random() >= self.probability:
+            return False
+        corrupt_file(Path(path), rng)
+        telemetry.count("checkpoint.corruptions")
+        return True
+
+
+def corrupt_file(path: Path, rng: random.Random) -> None:
+    """Damage ``path`` in place: truncate it, or flip one bit."""
+    data = bytearray(path.read_bytes())
+    if len(data) < 2:
+        return
+    if rng.random() < 0.5:
+        path.write_bytes(bytes(data[: rng.randrange(1, len(data))]))
+    else:
+        index = rng.randrange(len(data))
+        data[index] ^= 1 << rng.randrange(8)
+        path.write_bytes(bytes(data))
+
+
+def build_log_corruptor(
+    faults: IntegrityFaults | None, tree: RngTree
+) -> LogCorruptor | None:
+    """A line corruptor for one export stream, or None when inert."""
+    if faults is None or not faults.corrupts_lines:
+        return None
+    return LogCorruptor(faults=faults, tree=tree)
+
+
+def build_checkpoint_corruptor(
+    faults: IntegrityFaults | None, tree: RngTree
+) -> CheckpointCorruptor | None:
+    """A checkpoint corruptor for one run, or None when inert."""
+    if faults is None or faults.checkpoint_corruption_probability <= 0.0:
+        return None
+    return CheckpointCorruptor(
+        probability=faults.checkpoint_corruption_probability, tree=tree
+    )

@@ -77,6 +77,24 @@ class CoverageReport:
         return [f"coverage gaps: {parts}"]
 
 
+def integrity_note(lost: int, total: int) -> str | None:
+    """Figure annotation for records lost to storage corruption.
+
+    ``lost`` is the quarantined (unrecoverable) record count out of
+    ``total`` generated records, as reported by the collector's
+    conservation accounting or a :class:`~repro.honeynet.io.RecoveryReport`.
+    Returns ``None`` when nothing was lost, so callers can append the
+    note only when it carries information.
+    """
+    if lost <= 0:
+        return None
+    fraction = lost / total if total else 0.0
+    return (
+        f"integrity: {lost} of {total} records ({fraction:.2%}) lost to "
+        "corruption and quarantined"
+    )
+
+
 def build_coverage_report(plan: FaultPlan) -> CoverageReport:
     """Scheduled coverage under ``plan`` (ground truth, not inference).
 

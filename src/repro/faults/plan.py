@@ -101,6 +101,82 @@ class TransportFaults:
 
 
 @dataclass(frozen=True)
+class IntegrityFaults:
+    """Corruption/crash model for persisted artifacts and shard workers.
+
+    Where :class:`TransportFaults` loses records in flight, these faults
+    damage what has already been *persisted* or kill the process doing
+    the persisting — the failure modes a long-running deployment meets
+    on disk rather than on the wire:
+
+    * ``checkpoint_corruption_probability`` — each saved checkpoint file
+      is bit-flipped or truncated with this probability (resume must
+      fall back to the newest valid generation).
+    * ``line_mangle_probability`` — each exported session-log line is
+      mangled (character flip or truncation) with this probability; the
+      per-line checksum quarantines it on read.
+    * ``line_duplicate_probability`` — each exported line is written
+      twice (at-least-once delivery of the log shipper); the sequence
+      number dedups it losslessly.
+    * ``line_reorder_probability`` — adjacent exported lines are swapped
+      with this probability (out-of-order delivery); the sequence number
+      restores the order losslessly.
+    * ``worker_crash_probability`` — each parallel shard attempt dies
+      mid-run with this probability (the engine retries, then falls
+      back to serial execution for that shard).
+
+    All decisions are drawn from seed-derived streams keyed by artifact
+    and attempt, never from the simulation's record streams, so enabling
+    corruption cannot change what a fault-free run would have produced.
+    """
+
+    checkpoint_corruption_probability: float = 0.0
+    line_mangle_probability: float = 0.0
+    line_duplicate_probability: float = 0.0
+    line_reorder_probability: float = 0.0
+    worker_crash_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "checkpoint_corruption_probability",
+            "line_mangle_probability",
+            "line_duplicate_probability",
+            "line_reorder_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        # A certain crash is a legitimate schedule (it forces the serial
+        # fallback), so this one admits 1.0.
+        if not 0.0 <= self.worker_crash_probability <= 1.0:
+            raise ValueError(
+                "worker_crash_probability must be in [0, 1], got "
+                f"{self.worker_crash_probability}"
+            )
+        if self.line_mangle_probability + self.line_duplicate_probability >= 1.0:
+            raise ValueError("combined per-line corruption probability must be < 1")
+
+    @property
+    def inert(self) -> bool:
+        """True when no corruption or crash can ever be injected."""
+        return (
+            self.checkpoint_corruption_probability == 0.0
+            and self.line_mangle_probability == 0.0
+            and self.line_duplicate_probability == 0.0
+            and self.line_reorder_probability == 0.0
+            and self.worker_crash_probability == 0.0
+        )
+
+    @property
+    def corrupts_lines(self) -> bool:
+        return (
+            self.line_mangle_probability > 0.0
+            or self.line_duplicate_probability > 0.0
+            or self.line_reorder_probability > 0.0
+        )
+
+
+@dataclass(frozen=True)
 class FaultProfile:
     """Declarative fault configuration for one simulation run.
 
@@ -115,6 +191,8 @@ class FaultProfile:
             (exponential, rounded up to at least one full day — faults
             apply at day granularity, like the outage windows).
         transport: loss model for the collection path.
+        integrity: corruption/crash model for persisted artifacts and
+            shard workers (:class:`IntegrityFaults`).
     """
 
     name: str = "paper"
@@ -122,6 +200,7 @@ class FaultProfile:
     crashes_per_sensor_year: float = 0.0
     crash_downtime_mean_days: float = 2.0
     transport: TransportFaults = field(default_factory=TransportFaults)
+    integrity: IntegrityFaults = field(default_factory=IntegrityFaults)
 
     def __post_init__(self) -> None:
         if self.crashes_per_sensor_year < 0:
@@ -156,6 +235,13 @@ class FaultProfile:
         collection path with retries.  Aggregate loss stays in the
         low single-digit percents so the paper's distributional
         findings must still hold.
+
+        On top of the loss model, the integrity knobs corrupt what gets
+        *persisted*: one saved checkpoint in four is bit-flipped or
+        truncated, a few percent of exported log lines are mangled,
+        duplicated or reordered, and parallel shard workers crash
+        mid-run — exercising generation fallback, quarantine-and-recover
+        and the crash-tolerant engine on every stress-profile test.
         """
         return cls(
             name="stress",
@@ -170,6 +256,13 @@ class FaultProfile:
                 corruption_probability=0.01,
                 duplicate_probability=0.03,
                 max_attempts=4,
+            ),
+            integrity=IntegrityFaults(
+                checkpoint_corruption_probability=0.25,
+                line_mangle_probability=0.02,
+                line_duplicate_probability=0.02,
+                line_reorder_probability=0.02,
+                worker_crash_probability=0.2,
             ),
         )
 

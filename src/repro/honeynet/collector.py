@@ -11,9 +11,13 @@ Every record offered to the collection boundary ends in exactly one
 bucket, so the accounting identity
 
     generated == stored + dropped_outage + dropped_sensor_down
-                 + dead_lettered + deduplicated
+                 + dead_lettered + deduplicated + quarantined
 
-holds at all times (:meth:`Collector.accounting_balanced`).
+holds at all times (:meth:`Collector.accounting_balanced`).  The
+``quarantined`` bucket is always zero during simulation — it exists for
+collectors restored from recovered artifacts
+(:func:`repro.honeynet.io.recover_jsonl`), where records lost to
+on-disk corruption must still balance the books.
 """
 
 from __future__ import annotations
@@ -47,6 +51,9 @@ class Collector:
     retried: int = 0
     deduplicated: int = 0
     dead_lettered: int = 0
+    #: Records lost to on-disk corruption, accounted by the quarantine
+    #: store (always 0 for live simulation runs).
+    quarantined: int = 0
     #: Outage windows precomputed as inclusive ordinal ranges so the
     #: per-record check is integer comparisons, not date construction.
     _outage_ordinals: tuple[tuple[int, int], ...] = field(
@@ -139,6 +146,7 @@ class Collector:
             "retried": self.retried,
             "deduplicated": self.deduplicated,
             "dead_lettered": self.dead_lettered,
+            "quarantined": self.quarantined,
         }
 
     def accounting_balanced(self) -> bool:
@@ -149,6 +157,7 @@ class Collector:
             + self.dropped_sensor_down
             + self.dead_lettered
             + self.deduplicated
+            + self.quarantined
         )
 
     def absorb(
@@ -187,6 +196,7 @@ class Collector:
         self.retried += counters.get("retried", 0)
         self.deduplicated += counters.get("deduplicated", 0)
         self.dead_lettered += counters.get("dead_lettered", 0)
+        self.quarantined += counters.get("quarantined", 0)
 
     def restore(
         self,
@@ -204,3 +214,4 @@ class Collector:
         self.retried = counters.get("retried", 0)
         self.deduplicated = counters.get("deduplicated", 0)
         self.dead_lettered = counters.get("dead_lettered", 0)
+        self.quarantined = counters.get("quarantined", 0)

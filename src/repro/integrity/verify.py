@@ -1,0 +1,381 @@
+"""``repro verify``: audit an artifact tree's integrity end to end.
+
+Walks a dataset/checkpoint tree and checks every artifact against its
+own evidence: sidecar manifests and per-line checksums for JSONL
+exports, section and record checksums for checkpoint generations, and
+the quarantine store's provenance entries.  The audit's contract is the
+conservation law extended to disk: every discrepancy must either be
+*recoverable* (duplicated or reordered lines the sequence numbers
+repair, a corrupt checkpoint generation with a valid older one) or
+*explained* (quarantined with provenance).  Anything else is an
+unexplained discrepancy and fails the audit — ``repro verify`` exits
+non-zero.
+
+Import note: :mod:`repro.honeynet.io` and :mod:`repro.faults.checkpoint`
+are imported lazily inside the audit functions — both import this
+package's siblings at module level.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import telemetry
+from repro.integrity.manifest import ManifestError, is_manifest, manifest_path
+from repro.integrity.quarantine import (
+    QUARANTINE_DIR_NAME,
+    QuarantineEntry,
+    QuarantineStore,
+)
+
+#: Trailing generation suffix of rotated checkpoint files (``.1``, ``.2``).
+_GENERATION_SUFFIX = re.compile(r"\.(\d+)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audited artifact and its verdict."""
+
+    path: str  #: relative to the audit root
+    kind: str  #: ``dataset`` | ``checkpoint`` | ``quarantine`` | ``temp``
+    #: ``ok`` — pristine; ``recovered`` — damaged but losslessly
+    #: repairable; ``quarantined`` — lossy but fully accounted for;
+    #: ``failed`` — unexplained discrepancy.
+    status: str
+    detail: str
+
+    @property
+    def explained(self) -> bool:
+        return self.status != "failed"
+
+
+@dataclass
+class IntegrityAudit:
+    """The outcome of one tree walk."""
+
+    root: str
+    findings: list[Finding] = field(default_factory=list)
+    quarantine_entries: int = 0
+    records_verified: int = 0
+    records_lost: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(finding.explained for finding in self.findings)
+
+    def unexplained(self) -> list[Finding]:
+        return [f for f in self.findings if not f.explained]
+
+    def render(self) -> str:
+        """Human-readable audit report."""
+        lines = [f"integrity audit of {self.root}"]
+        marks = {"ok": "✓", "recovered": "~", "quarantined": "!", "failed": "✗"}
+        for finding in self.findings:
+            mark = marks.get(finding.status, "?")
+            lines.append(
+                f"  {mark} [{finding.kind}] {finding.path}: {finding.detail}"
+            )
+        if not self.findings:
+            lines.append("  (no auditable artifacts found)")
+        lines.append(
+            f"{len(self.findings)} artifacts, "
+            f"{self.records_verified} records verified, "
+            f"{self.records_lost} lost (quarantine holds "
+            f"{self.quarantine_entries} entries)"
+        )
+        lines.append("PASS" if self.ok else
+                     f"FAIL: {len(self.unexplained())} unexplained discrepancies")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "root": self.root,
+                "ok": self.ok,
+                "records_verified": self.records_verified,
+                "records_lost": self.records_lost,
+                "quarantine_entries": self.quarantine_entries,
+                "findings": [
+                    {
+                        "path": f.path,
+                        "kind": f.kind,
+                        "status": f.status,
+                        "detail": f.detail,
+                    }
+                    for f in self.findings
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _checkpoint_base(path: Path) -> Path | None:
+    """The generation-group base for a checkpoint file, if it is one."""
+    name = path.name
+    match = _GENERATION_SUFFIX.search(name)
+    stem = name[: match.start()] if match else name
+    if ".ckpt" in stem or stem.startswith("ckpt"):
+        return path.with_name(stem)
+    return None
+
+
+def _generation_rank(path: Path) -> int:
+    match = _GENERATION_SUFFIX.search(path.name)
+    return int(match.group(1)) if match else 0
+
+
+def audit_tree(
+    root: Path | str,
+    quarantine: Path | str | QuarantineStore | None = None,
+) -> IntegrityAudit:
+    """Audit every artifact under ``root`` (a directory or one file).
+
+    ``quarantine`` overrides store discovery (default: the
+    ``quarantine/`` directory under ``root``, when present).
+    """
+    root = Path(root)
+    base = root if root.is_dir() else root.parent
+    if isinstance(quarantine, QuarantineStore):
+        store = quarantine
+    elif quarantine is not None:
+        store = QuarantineStore(quarantine)
+    else:
+        store = QuarantineStore.discover(base)
+
+    audit = IntegrityAudit(root=str(root))
+    files = sorted(p for p in root.rglob("*") if p.is_file()) if root.is_dir() else [root]
+
+    checkpoint_groups: dict[Path, list[Path]] = {}
+    for path in files:
+        relative = str(path.relative_to(base))
+        if QUARANTINE_DIR_NAME in path.relative_to(base).parts[:-1]:
+            continue  # the store is audited separately below
+        if path.name.endswith(".tmp"):
+            audit.findings.append(
+                Finding(
+                    path=relative,
+                    kind="temp",
+                    status="recovered",
+                    detail="leftover temp file (interrupted atomic write; "
+                    "the primary artifact is unaffected)",
+                )
+            )
+            continue
+        if is_manifest(path):
+            data_file = path.with_name(path.name[: -len(".manifest.json")])
+            if not data_file.exists():
+                audit.findings.append(
+                    Finding(
+                        path=relative,
+                        kind="dataset",
+                        status="failed",
+                        detail="manifest without a data file",
+                    )
+                )
+            continue
+        checkpoint_base = _checkpoint_base(path)
+        if checkpoint_base is not None:
+            checkpoint_groups.setdefault(checkpoint_base, []).append(path)
+            continue
+        if path.suffix == ".jsonl":
+            _audit_jsonl(path, relative, store, audit)
+
+    for checkpoint_base, members in sorted(checkpoint_groups.items()):
+        _audit_checkpoint_group(checkpoint_base, members, base, audit)
+
+    if store is not None:
+        _audit_quarantine(store, base, audit)
+
+    telemetry.count("integrity.verify.runs")
+    telemetry.count("integrity.verify.artifacts", len(audit.findings))
+    if not audit.ok:
+        telemetry.count("integrity.verify.failures")
+    return audit
+
+
+def _audit_jsonl(
+    path: Path,
+    relative: str,
+    store: QuarantineStore | None,
+    audit: IntegrityAudit,
+) -> None:
+    from repro.honeynet.io import recover_jsonl
+
+    try:
+        recovered = recover_jsonl(path)  # scan-only: no store writes
+    except OSError as error:
+        audit.findings.append(
+            Finding(relative, "dataset", "failed", f"unreadable: {error}")
+        )
+        return
+    report = recovered.report
+    audit.records_verified += report.recovered
+    audit.records_lost += report.lost
+
+    manifest_problem = False
+    if manifest_path(path).exists() and report.manifest_lines is None:
+        try:
+            from repro.integrity.manifest import read_manifest
+
+            read_manifest(path)
+        except ManifestError:
+            manifest_problem = True
+
+    pristine = (
+        not report.lost
+        and not report.duplicates
+        and not report.reordered
+        and report.manifest_match is not False
+        and not manifest_problem
+    )
+    if pristine:
+        suffix = (
+            "verified against manifest"
+            if report.manifest_lines is not None
+            else "parsed clean (no manifest)"
+        )
+        audit.findings.append(
+            Finding(
+                relative, "dataset", "ok", f"{report.recovered} records, {suffix}"
+            )
+        )
+        return
+    if manifest_problem:
+        status = "recovered" if report.lost == 0 else "failed"
+        audit.findings.append(
+            Finding(
+                relative,
+                "dataset",
+                status,
+                f"manifest unreadable; data file {'parsed clean' if status == 'recovered' else 'is also damaged'}",
+            )
+        )
+        return
+    if (
+        report.manifest_lines is not None
+        and report.recovered > report.manifest_lines
+    ):
+        # More records than the writer ever produced: an insertion, not
+        # damage — nothing in the fault model creates records, so this
+        # is never recoverable or quarantinable.
+        audit.findings.append(
+            Finding(
+                relative,
+                "dataset",
+                "failed",
+                f"{report.recovered} records recovered but the manifest "
+                f"promises only {report.manifest_lines} — "
+                "unexplained extra records",
+            )
+        )
+        return
+    if report.lost == 0:
+        audit.findings.append(
+            Finding(
+                relative,
+                "dataset",
+                "recovered",
+                f"{report.recovered} records recovered losslessly "
+                f"({report.duplicates} duplicates dropped, "
+                f"{report.reordered} lines re-ordered)",
+            )
+        )
+        return
+    covered = store is not None and all(
+        store.covers(path.name, line=line) for line, _ in report.bad_lines
+    ) and all(
+        store.covers(path.name, seq=seq) for seq in report.missing_seqs
+    )
+    if covered:
+        audit.findings.append(
+            Finding(
+                relative,
+                "dataset",
+                "quarantined",
+                f"{report.recovered} records recovered; {report.lost} lost "
+                f"({report.quarantined} corrupt lines, {report.missing} "
+                "missing) — all quarantined with provenance",
+            )
+        )
+    else:
+        audit.findings.append(
+            Finding(
+                relative,
+                "dataset",
+                "failed",
+                f"{report.lost} records lost without quarantine coverage "
+                f"({report.quarantined} corrupt lines, "
+                f"{report.missing} missing)",
+            )
+        )
+
+
+def _audit_checkpoint_group(
+    checkpoint_base: Path, members: list[Path], base: Path, audit: IntegrityAudit
+) -> None:
+    from repro.faults.checkpoint import audit_checkpoint
+
+    members = sorted(members, key=_generation_rank)
+    problems = {member: audit_checkpoint(member) for member in members}
+    newest_valid = next(
+        (member for member in members if problems[member] is None), None
+    )
+    for member in members:
+        relative = str(member.relative_to(base))
+        problem = problems[member]
+        if problem is None:
+            audit.findings.append(
+                Finding(relative, "checkpoint", "ok", "all checksums verified")
+            )
+        elif newest_valid is not None:
+            audit.findings.append(
+                Finding(
+                    relative,
+                    "checkpoint",
+                    "recovered",
+                    f"corrupt generation ({problem}); resume covered by "
+                    f"{newest_valid.name}",
+                )
+            )
+        else:
+            audit.findings.append(
+                Finding(
+                    relative,
+                    "checkpoint",
+                    "failed",
+                    f"corrupt with no valid generation to fall back to "
+                    f"({problem})",
+                )
+            )
+
+
+def _audit_quarantine(
+    store: QuarantineStore, base: Path, audit: IntegrityAudit
+) -> None:
+    try:
+        relative = str(store.index.relative_to(base))
+    except ValueError:
+        relative = str(store.index)
+    if not store.index.exists():
+        return
+    try:
+        entries: list[QuarantineEntry] = store.entries()
+    except (json.JSONDecodeError, TypeError, ValueError) as error:
+        audit.findings.append(
+            Finding(
+                relative, "quarantine", "failed", f"corrupt index: {error}"
+            )
+        )
+        return
+    audit.quarantine_entries = len(entries)
+    reasons = store.counts_by_reason()
+    summary = ", ".join(
+        f"{count}× {reason}" for reason, count in sorted(reasons.items())
+    ) or "empty"
+    audit.findings.append(
+        Finding(relative, "quarantine", "ok", f"{len(entries)} entries ({summary})")
+    )

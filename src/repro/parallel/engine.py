@@ -26,6 +26,16 @@ codebase already guarantees:
 Checkpoints are written at shard boundaries with the same format as the
 serial engine, so serial and parallel runs can resume each other's
 checkpoints interchangeably.
+
+The engine is also *crash-tolerant*: a shard worker that dies mid-run
+(injected :class:`~repro.faults.corruption.WorkerCrash`, or a real
+worker death breaking the pool) loses only its task-local output — the
+parent deterministically re-executes the shard, and after
+:data:`MAX_SHARD_ATTEMPTS` failed attempts falls back to running the
+shard serially in-process.  Because every attempt presets the honeypot
+counters absolutely and uses the same day streams, the recovered output
+is byte-identical, so digest equality with the serial engine holds
+under every crash schedule.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ import logging
 import multiprocessing
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from datetime import date
 from pathlib import Path
@@ -42,17 +53,15 @@ from repro.attackers.orchestrator import (
     DEFAULT_CHECKPOINT_EVERY_DAYS,
     SimulationResult,
     SimulationSubstrate,
+    _resume_state,
     build_substrate,
     count_day,
     simulate_day,
     _finish_result,
 )
 from repro.config import SimulationConfig
-from repro.faults.checkpoint import (
-    load_checkpoint,
-    restore_state,
-    save_checkpoint,
-)
+from repro.faults.checkpoint import save_checkpoint
+from repro.faults.corruption import WorkerCrash, crash_point
 from repro.honeypot.session import SessionRecord
 from repro.parallel.shards import Shard, plan_shards
 from repro import telemetry
@@ -69,7 +78,12 @@ COUNTER_KEYS = (
     "retried",
     "deduplicated",
     "dead_lettered",
+    "quarantined",
 )
+
+#: Worker attempts per shard before the parent gives up on the pool and
+#: re-executes the shard serially in-process.
+MAX_SHARD_ATTEMPTS = 3
 
 
 @dataclass
@@ -134,11 +148,29 @@ def _count_shard(span: tuple[str, str]) -> dict[str, int]:
 
 
 def _run_shard(
-    task: tuple[int, str, str, dict[str, int]]
+    task: tuple[int, str, str, dict[str, int], int]
 ) -> ShardOutput:
-    """Phase 2: fully simulate one shard with preset honeypot counters."""
-    index, start_iso, end_iso, base_counters = task
+    """Phase 2: fully simulate one shard with preset honeypot counters.
+
+    ``task`` carries the attempt number so the fault model can decide,
+    per ``(shard, attempt)``, whether this attempt crashes mid-run
+    (:func:`repro.faults.corruption.crash_point`).  A crashed attempt
+    raises before returning anything; since the collector is task-local
+    and the honeypot counters are preset absolutely at the start of
+    every task, the discarded partial work cannot leak into a retry.
+    """
+    index, start_iso, end_iso, base_counters, attempt = task
     substrate = _worker_substrate()
+    days = list(
+        days_between(date.fromisoformat(start_iso), date.fromisoformat(end_iso))
+    )
+    crash_after = crash_point(
+        substrate.config.faults.integrity,
+        substrate.config.seed,
+        index,
+        attempt,
+        len(days),
+    )
     substrate.set_honeypot_counters(base_counters)
     collector = substrate.fresh_collector()
     channel = substrate.fresh_channel(collector)
@@ -147,9 +179,12 @@ def _run_shard(
     # The shard's day loop carries the same span names as the serial
     # engine, so merged span paths line up run-for-run.
     with telemetry.span("sim.run"):
-        for day in days_between(
-            date.fromisoformat(start_iso), date.fromisoformat(end_iso)
-        ):
+        for day_number, day in enumerate(days):
+            if crash_after is not None and day_number == crash_after:
+                raise WorkerCrash(
+                    f"injected crash in shard {index} attempt {attempt} "
+                    f"after {day_number} of {len(days)} days"
+                )
             with telemetry.span("sim.day"):
                 simulate_day(substrate, day, deliver)
     telemetry_export = None
@@ -192,6 +227,128 @@ def _add_counts(total: dict[str, int], delta: dict[str, int]) -> None:
         total[key] = total.get(key, 0) + value
 
 
+def _submit(pool: ProcessPoolExecutor, fn, arg) -> Future | None:
+    """Submit, tolerating a pool that has already broken or shut down."""
+    try:
+        return pool.submit(fn, arg)
+    except (BrokenProcessPool, RuntimeError):
+        return None
+
+
+def _execute_shard(
+    substrate: SimulationSubstrate,
+    task: tuple[int, str, str, dict[str, int]],
+) -> ShardOutput:
+    """Serial in-process fallback: run one shard on the parent substrate.
+
+    Crash-free by construction (no fault hook on this path) and
+    byte-identical to what a healthy worker would have returned — the
+    same :func:`simulate_day` over the same days with the same preset
+    counters.  Telemetry records straight into the parent registry, so
+    ``telemetry=None`` in the output (nothing to merge twice).  The
+    parent's honeypot counters are overwritten absolutely by the merge
+    loop afterwards, so mutating them here is safe.
+    """
+    index, start_iso, end_iso, base_counters = task
+    substrate.set_honeypot_counters(base_counters)
+    collector = substrate.fresh_collector()
+    channel = substrate.fresh_channel(collector)
+    deliver = channel.deliver
+    for day in days_between(
+        date.fromisoformat(start_iso), date.fromisoformat(end_iso)
+    ):
+        with telemetry.span("sim.day"):
+            simulate_day(substrate, day, deliver)
+    handled = {
+        honeypot.honeypot_id: delta
+        for honeypot in substrate.honeynet.honeypots
+        if (
+            delta := honeypot._counter
+            - base_counters.get(honeypot.honeypot_id, 0)
+        )
+    }
+    return ShardOutput(
+        index=index,
+        sessions=collector.sessions,
+        dead_letters=collector.dead_letters,
+        counters={key: getattr(collector, key) for key in COUNTER_KEYS},
+        channel_stats=asdict(channel.stats),
+        handled=handled,
+        telemetry=None,
+    )
+
+
+def _settle_shard(
+    pool: ProcessPoolExecutor,
+    substrate: SimulationSubstrate,
+    shard: Shard,
+    task: tuple[int, str, str, dict[str, int], int],
+    future: Future | None,
+) -> ShardOutput:
+    """Resolve one shard's output, surviving crashed workers.
+
+    An attempt that dies with :class:`WorkerCrash` (injected) is
+    re-submitted — deterministic re-execution, byte-identical output —
+    up to :data:`MAX_SHARD_ATTEMPTS` total attempts; after that, or when
+    the pool itself breaks (a real worker death), the shard is re-run
+    serially in the parent.  Every path returns the same bytes, so
+    digest equality with the serial engine holds under every crash
+    schedule.
+    """
+    attempt = 1
+    while future is not None:
+        try:
+            return future.result()
+        except WorkerCrash as error:
+            telemetry.count("parallel.worker_crashes")
+            logger.warning("shard %d worker died: %s", shard.index, error)
+            if attempt >= MAX_SHARD_ATTEMPTS:
+                logger.warning(
+                    "shard %d crashed %d times; giving up on the pool",
+                    shard.index, attempt,
+                )
+                break
+            telemetry.count("parallel.shard_retries")
+            logger.info(
+                "re-executing shard %d (attempt %d of %d)",
+                shard.index, attempt + 1, MAX_SHARD_ATTEMPTS,
+            )
+            future = _submit(pool, _run_shard, task[:4] + (attempt,))
+            attempt += 1
+        except BrokenProcessPool as error:
+            telemetry.count("parallel.pool_failures")
+            logger.error(
+                "worker pool broke under shard %d: %s", shard.index, error
+            )
+            break
+    telemetry.count("parallel.serial_fallbacks")
+    logger.warning(
+        "shard %d: falling back to serial in-process execution", shard.index
+    )
+    with telemetry.span("parallel.serial_fallback"):
+        return _execute_shard(substrate, task[:4])
+
+
+def _settle_counts(
+    substrate: SimulationSubstrate, shard: Shard, future: Future | None
+) -> dict[str, int]:
+    """Resolve one shard's count-pass result, recounting inline if the
+    pool failed (counting is pure, so the recount is identical)."""
+    if future is not None:
+        try:
+            return future.result()
+        except BrokenProcessPool as error:
+            telemetry.count("parallel.pool_failures")
+            logger.warning(
+                "count pass lost for shard %d (%s); recounting inline",
+                shard.index, error,
+            )
+    counts: dict[str, int] = {}
+    for day in days_between(shard.start, shard.end):
+        count_day(substrate, day, counts)
+    return counts
+
+
 def run_simulation_parallel(
     config: SimulationConfig,
     extra_bots_factory=None,
@@ -216,20 +373,14 @@ def run_simulation_parallel(
 
     first_day = config.start
     if resume:
-        if checkpoint_path is None:
-            raise ValueError("resume=True requires a checkpoint_path")
-        if Path(checkpoint_path).exists():
-            checkpoint = load_checkpoint(checkpoint_path, config)
-            first_day = restore_state(checkpoint, honeynet, collector)
-            telemetry.count("checkpoint.resumes")
-            logger.info(
-                "resumed from %s: %d sessions, next day %s",
-                checkpoint_path, len(collector.sessions), first_day,
-            )
-        else:
-            logger.info("no checkpoint at %s; starting fresh", checkpoint_path)
-    if checkpoint_path is not None and checkpoint_every_days is None:
-        checkpoint_every_days = DEFAULT_CHECKPOINT_EVERY_DAYS
+        restored = _resume_state(checkpoint_path, config, honeynet, collector)
+        if restored is not None:
+            first_day = restored
+    corruptor = None
+    if checkpoint_path is not None:
+        corruptor = substrate.checkpoint_corruptor()
+        if checkpoint_every_days is None:
+            checkpoint_every_days = DEFAULT_CHECKPOINT_EVERY_DAYS
 
     # The serial loop checks ``day >= stop_after`` after simulating, so
     # a stop_after before the resume cursor still simulates one day.
@@ -270,33 +421,41 @@ def run_simulation_parallel(
     ) as pool:
         # Phase 1: count arrivals for every shard but the last (the
         # last shard's counts are never needed as an offset).
-        count_futures: list[Future] = [
-            pool.submit(
-                _count_shard, (shard.start.isoformat(), shard.end.isoformat())
+        count_futures: list[Future | None] = [
+            _submit(
+                pool,
+                _count_shard,
+                (shard.start.isoformat(), shard.end.isoformat()),
             )
             for shard in shards[:-1]
         ]
         # Phase 2: simulate each shard with prefix-summed counters.
-        run_futures: list[Future] = []
+        run_futures: list[Future | None] = []
+        tasks: list[tuple[int, str, str, dict[str, int], int]] = []
         offsets = dict(base_counters)
         for shard in shards:
-            run_futures.append(
-                pool.submit(
-                    _run_shard,
-                    (
-                        shard.index,
-                        shard.start.isoformat(),
-                        shard.end.isoformat(),
-                        dict(offsets),
+            task = (
+                shard.index,
+                shard.start.isoformat(),
+                shard.end.isoformat(),
+                dict(offsets),
+                0,
+            )
+            tasks.append(task)
+            run_futures.append(_submit(pool, _run_shard, task))
+            if shard.index < len(count_futures):
+                _add_counts(
+                    offsets,
+                    _settle_counts(
+                        substrate, shard, count_futures[shard.index]
                     ),
                 )
-            )
-            if shard.index < len(count_futures):
-                _add_counts(offsets, count_futures[shard.index].result())
         # Merge in shard order: concatenation reproduces the serial
         # ingestion order, so the merged collector is byte-identical.
         for shard, future in zip(shards, run_futures):
-            output: ShardOutput = future.result()
+            output: ShardOutput = _settle_shard(
+                pool, substrate, shard, tasks[shard.index], future
+            )
             collector.absorb(
                 output.sessions, output.dead_letters, output.counters
             )
@@ -316,7 +475,7 @@ def run_simulation_parallel(
                 substrate.set_honeypot_counters(cumulative)
                 save_checkpoint(
                     checkpoint_path, config, shard.next_day,
-                    honeynet, collector,
+                    honeynet, collector, corruptor=corruptor,
                 )
                 telemetry.count("checkpoint.saves")
                 days_since_checkpoint = 0

@@ -1,0 +1,31 @@
+"""Atomic file writes shared by every artifact writer.
+
+Checkpoints, session-log exports and sidecar manifests all go through
+:func:`atomic_write_text`: the bytes land in a temp file in the target
+directory, are fsync'ed, and are moved into place with ``os.replace``.
+A process killed at any instant therefore leaves either the previous
+file intact or the new file complete — never a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def atomic_write_text(path: Path | str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + fsync + rename).
+
+    The temp file lives next to the target (``<name>.tmp``) so the final
+    rename stays within one filesystem.  Not safe for concurrent writers
+    of the same path — every writer in this codebase is single-process
+    per artifact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)

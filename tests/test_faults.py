@@ -411,6 +411,52 @@ class TestCoverageValidation:
     def test_paper_profile_passes(self, dataset):
         validate_coverage(dataset.coverage)
 
+    def test_empty_fault_plan_is_full_coverage(self):
+        plan = compile_fault_plan(
+            FaultProfile.none(),
+            ["hp-000", "hp-001"],
+            date(2023, 9, 1),
+            date(2023, 10, 31),
+            RngTree(1),
+        )
+        report = build_coverage_report(plan)
+        assert report.overall_fraction == 1.0
+        assert report.gap_months() == []
+        assert all(fraction == 1.0 for fraction in report.sensors.values())
+        assert report.notes() == []
+        validate_coverage(report)  # must not raise
+
+    def test_full_range_outage_is_zero_coverage(self):
+        start, end = date(2023, 9, 1), date(2023, 10, 31)
+        profile = FaultProfile(
+            name="allout", outages=(OutageWindow(start, end),)
+        )
+        plan = compile_fault_plan(profile, ["hp-000"], start, end, RngTree(1))
+        report = build_coverage_report(plan)
+        assert report.overall_fraction == 0.0
+        assert set(report.gap_months()) == {"2023-09", "2023-10"}
+        assert all(fraction == 0.0 for fraction in report.sensors.values())
+        with pytest.raises(CoverageError, match="too degraded"):
+            validate_coverage(report)
+
+    def test_gaps_exactly_tiling_the_range(self):
+        # Two abutting outages that jointly tile the window exactly must
+        # account identically to one full-range outage — the boundary
+        # day belongs to exactly one window, never both or neither.
+        start, end = date(2023, 9, 1), date(2023, 10, 31)
+        tiled = FaultProfile(
+            name="tiled",
+            outages=(
+                OutageWindow(start, date(2023, 9, 30)),
+                OutageWindow(date(2023, 10, 1), end),
+            ),
+        )
+        plan = compile_fault_plan(tiled, ["hp-000"], start, end, RngTree(1))
+        report = build_coverage_report(plan)
+        assert report.overall_fraction == 0.0
+        total_outage_days = sum(w.days for w in tiled.outages)
+        assert total_outage_days == (end - start).days + 1
+
 
 class TestExperimentAnnotations:
     def test_fig01_carries_gap_annotation(self, results):

@@ -76,3 +76,89 @@ class TestErrorHandling:
         payload["protocol"] = "carrier-pigeon"
         with pytest.raises(SessionLogError):
             session_from_dict(payload)
+
+    def test_errors_carry_structured_context(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 1}\n{not json}\n')
+        with pytest.raises(SessionLogError) as caught:
+            read_jsonl(path)
+        error = caught.value
+        assert error.path == str(path)
+        assert error.line == 1  # the malformed record comes first
+        assert error.reason == "malformed-record"
+        assert str(path) in str(error) and "line 1" in str(error)
+        assert error.__cause__ is not None  # exception chaining preserved
+
+    def test_invalid_json_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(SessionLogError) as caught:
+            read_jsonl(path)
+        assert caught.value.reason == "invalid-json"
+        assert caught.value.line == 1
+
+    def test_version_error_reason(self):
+        with pytest.raises(SessionLogError) as caught:
+            session_from_dict({"v": 999})
+        assert caught.value.reason == "unsupported-version"
+
+
+class TestSelfVerification:
+    def test_write_produces_sidecar_manifest(self, dataset, tmp_path):
+        from repro.integrity.manifest import read_manifest
+
+        sessions = dataset.database.ssh_sessions()[:10]
+        path = tmp_path / "sessions.jsonl"
+        write_jsonl(sessions, path)
+        manifest = read_manifest(path)
+        assert manifest is not None and manifest.lines == 10
+        assert not path.with_name(path.name + ".tmp").exists()  # atomic
+
+    def test_manifest_can_be_suppressed(self, dataset, tmp_path):
+        from repro.integrity.manifest import manifest_path
+
+        path = tmp_path / "bare.jsonl"
+        write_jsonl(dataset.database.ssh_sessions()[:5], path, manifest=False)
+        assert not manifest_path(path).exists()
+        assert len(read_jsonl(path)) == 5
+
+    def test_strict_read_rejects_tampered_line(self, dataset, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(dataset.database.ssh_sessions()[:5], path)
+        lines = path.read_text().splitlines()
+        payload = json.loads(lines[2])
+        payload["client_ip"] = "6.6.6.6"  # flip content, keep old checksum
+        lines[2] = json.dumps(payload)
+        path.write_text("".join(line + "\n" for line in lines))
+        with pytest.raises(SessionLogError) as caught:
+            read_jsonl(path)
+        assert caught.value.reason == "checksum-mismatch"
+        assert caught.value.line == 3
+
+    def test_strict_read_rejects_truncated_file(self, dataset, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(dataset.database.ssh_sessions()[:5], path)
+        lines = path.read_text().splitlines()
+        path.write_text("".join(line + "\n" for line in lines[:-1]))
+        with pytest.raises(SessionLogError) as caught:
+            read_jsonl(path)
+        assert caught.value.reason == "manifest-mismatch"
+
+    def test_lenient_read_recovers_around_damage(self, dataset, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sessions = dataset.database.ssh_sessions()[:6]
+        write_jsonl(sessions, path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:20]  # truncate one line mid-record
+        path.write_text("".join(line + "\n" for line in lines))
+        quarantine = tmp_path / "quarantine"
+        loaded = read_jsonl(path, mode="lenient", quarantine=quarantine)
+        assert [s.session_id for s in loaded] == [
+            s.session_id for i, s in enumerate(sessions) if i != 1
+        ]
+        assert (quarantine / "quarantine.jsonl").exists()
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        (tmp_path / "x.jsonl").write_text("")
+        with pytest.raises(ValueError, match="unknown read mode"):
+            read_jsonl(tmp_path / "x.jsonl", mode="optimistic")
