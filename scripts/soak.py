@@ -13,7 +13,12 @@ log corruption + worker crashes):
    PASS (every loss quarantined with provenance) and the recovery
    accounting must balance;
 4. a deliberately mangled copy without recovery — `repro verify` must
-   FAIL (unexplained damage is never waved through).
+   FAIL (unexplained damage is never waved through);
+5. a flood-recovery leg: the same stress window under the `storm`
+   flood preset — serial vs parallel digests and the shed ledger must
+   be identical, the extended conservation law must balance with
+   `shed > 0`, and a watchdog-armed run (generous shard deadline) must
+   reproduce the same bytes.
 
 Exit code 0 only when every check holds.  Designed for the scheduled
 `soak` workflow but runnable locally:
@@ -120,6 +125,47 @@ def check_export_recovery(config: SimulationConfig, serial, work: Path) -> None:
         fail("quarantine store does not cover every lost record")
 
 
+def check_flood_overload(config: SimulationConfig) -> None:
+    """Overload leg: digest equality and a balanced shed ledger under
+    the storm flood, with and without the hung-worker watchdog."""
+    import dataclasses
+
+    from repro.faults.plan import FloodFaults
+
+    flood_config = config.replace(
+        faults=dataclasses.replace(
+            config.faults, flood=FloodFaults.from_name("storm")
+        )
+    )
+    serial = run_simulation(flood_config)
+    collector = serial.collector
+    print(
+        f"flood: {collector.generated} generated, {collector.shed} shed, "
+        f"{collector.deferred} deferred, digest {serial.database.digest()[:16]}…"
+    )
+    if not collector.accounting_balanced():
+        fail("flood run's conservation accounting does not balance")
+    if collector.shed == 0:
+        fail("storm flood shed nothing — admission gate not engaging")
+    if collector.admitted != len(collector.sessions) + collector.deduplicated:
+        fail("admitted != stored + deduplicated under the flood gate")
+    parallel = run_simulation(flood_config, workers=2)
+    if parallel.database.digest() != serial.database.digest():
+        fail("flood digest diverged between serial and parallel")
+    if parallel.collector.accounting() != serial.collector.accounting():
+        fail("flood shed ledger diverged between serial and parallel")
+    with telemetry.collecting() as registry:
+        watched = run_simulation(
+            flood_config.replace(shard_deadline_s=600.0), workers=2
+        )
+    breaches = registry.counters.get("overload.watchdog.hard_breaches", 0)
+    print(f"watchdog-armed flood run: {breaches} hard breaches")
+    if watched.database.digest() != serial.database.digest():
+        fail("watchdog-armed flood digest diverged")
+    if breaches:
+        fail("healthy flood run breached its generous hard deadline")
+
+
 def check_mangled_tree_fails(serial, work: Path) -> None:
     mangled_dir = work / "mangled"
     mangled_dir.mkdir()
@@ -159,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
         check_checkpoint_recovery(config, serial, work)
         check_export_recovery(config, serial, work)
         check_mangled_tree_fails(serial, work)
+        check_flood_overload(config)
     finally:
         if args.keep is None:
             shutil.rmtree(work, ignore_errors=True)

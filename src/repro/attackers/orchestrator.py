@@ -41,6 +41,7 @@ from repro.faults.checkpoint import (
 )
 from repro.faults.corruption import build_checkpoint_corruptor
 from repro.faults.coverage import CoverageReport, build_coverage_report
+from repro.faults.flood import FloodGenerator, build_flood_generator
 from repro.faults.plan import FaultPlan, compile_fault_plan
 from repro.faults.transport import (
     DirectChannel,
@@ -53,6 +54,7 @@ from repro.honeynet.deployment import Honeynet, deploy_honeynet
 from repro.honeypot.session import SessionRecord
 from repro.net.population import BasePopulation, build_base_population
 from repro.net.whois import HistoricalWhois
+from repro.overload.admission import build_admission_controller
 from repro import telemetry
 from repro.util.rng import RngTree
 from repro.util.timeutils import days_between, month_key, to_epoch
@@ -122,12 +124,24 @@ class SimulationSubstrate:
     bots: list[Bot]
     plan: FaultPlan
     coverage: CoverageReport
+    #: Seeded scan-flood arrival generator, or None when bursts are off.
+    flood: FloodGenerator | None = None
 
     def fresh_collector(self) -> Collector:
-        """A new empty collector wired to this run's fault plan."""
+        """A new empty collector wired to this run's fault plan.
+
+        When the flood profile bounds ingest, the collector gets its own
+        admission gate; the gate's shed coins are keyed by session id
+        under a fixed subtree, so verdicts are identical in the serial
+        loop and in every shard worker.
+        """
         return Collector(
             outages=self.config.faults.outages,
             sensor_down_days=self.plan.sensor_down_days,
+            admission=build_admission_controller(
+                self.config.faults.flood,
+                self.tree.child("faults", "overload"),
+            ),
         )
 
     def fresh_channel(
@@ -212,6 +226,9 @@ def build_substrate(
         bots=bots,
         plan=plan,
         coverage=build_coverage_report(plan),
+        flood=build_flood_generator(
+            config.faults.flood, tree.child("faults", "flood")
+        ),
     )
 
 
@@ -248,6 +265,16 @@ def simulate_day(
                 continue
             when = to_epoch(day, bot.start_seconds(route_rng, day))
             record = honeypot.handle(intent, when)
+            deliver(record)
+            produced += 1
+    if substrate.flood is not None:
+        # Injected scan-campaign arrivals ride the same delivery path as
+        # bot traffic; their rng lives under the fault subtree, so they
+        # never perturb the bot streams above.
+        for index, seconds, intent in substrate.flood.arrivals(
+            day, fleet_size
+        ):
+            record = honeypots[index].handle(intent, to_epoch(day, seconds))
             deliver(record)
             produced += 1
     registry = telemetry.active()
@@ -289,6 +316,12 @@ def count_day(
             bot.start_seconds(route_rng, day)  # keep the stream aligned
             honeypot_id = honeypots[index].honeypot_id
             counts[honeypot_id] = counts.get(honeypot_id, 0) + 1
+    if substrate.flood is not None:
+        for index, _seconds, _intent in substrate.flood.arrivals(
+            day, fleet_size
+        ):
+            honeypot_id = honeypots[index].honeypot_id
+            counts[honeypot_id] = counts.get(honeypot_id, 0) + 1
 
 
 def _finish_result(
@@ -301,6 +334,10 @@ def _finish_result(
     with telemetry.span("sim.finalize"):
         database = SessionDatabase(collector.sessions)
     telemetry.gauge("sim.stored_sessions", len(database))
+    if collector.shed > 0:
+        telemetry.gauge(
+            "overload.shed_rate", collector.shed / max(collector.generated, 1)
+        )
     logger.info(
         "simulation finished: %d sessions (%d dropped in outages/downtime, "
         "%d dead-lettered) in %.1fs",
@@ -468,6 +505,10 @@ def run_simulation(
                 current_month = month
             with telemetry.span("sim.day"):
                 simulate_day(substrate, day, deliver)
+            # Day boundary: release deferred records before any
+            # checkpoint below — the deferral queues are intra-day
+            # state and are never serialized.
+            collector.end_of_day()
             days_done += 1
             stopping = stop_after is not None and day >= stop_after
             if checkpoint_path is not None and (

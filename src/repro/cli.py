@@ -19,11 +19,16 @@ Subcommands:
 
 Every subcommand accepts ``--fault-profile {none,paper,stress}``; the
 default ``paper`` models exactly the deployment the paper describes.
-``--workers N`` switches every stage that supports it to the parallel
-engine (see docs/parallelism.md); the output is identical at any N.
-``--telemetry [PATH]`` collects metrics/spans for the run and writes
-them as JSON — purely observational, outputs are byte-identical with
-it on or off.
+``--flood-profile {off,burst,storm}`` layers the overload fault domain
+(scan floods + admission control with deterministic load shedding) on
+top of whatever fault profile is active; ``off`` (the default) is
+byte-identical to the pre-overload pipeline.  ``--workers N`` switches
+every stage that supports it to the parallel engine (see
+docs/parallelism.md); the output is identical at any N.
+``--shard-deadline-s S`` arms the hung-worker watchdog for parallel
+runs (soft warning at S/2, cancellation + retry at S).  ``--telemetry
+[PATH]`` collects metrics/spans for the run and writes them as JSON —
+purely observational, outputs are byte-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -34,10 +39,13 @@ from datetime import date
 from pathlib import Path
 
 from repro.config import BENCH_CONFIG, DEFAULT_CONFIG, SimulationConfig
-from repro.faults.plan import FaultProfile
+from repro.faults.plan import FaultProfile, FloodFaults
 
 #: Profile names accepted by ``--fault-profile``.
 FAULT_PROFILES = ("none", "paper", "stress")
+
+#: Preset names accepted by ``--flood-profile``.
+FLOOD_PROFILES = ("off", "burst", "storm")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -50,11 +58,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="fault-injection profile (see docs/fault-model.md)",
     )
     parser.add_argument(
+        "--flood-profile",
+        choices=FLOOD_PROFILES,
+        default="off",
+        help="overload preset: scan floods + admission control "
+        "(see docs/fault-model.md)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=DEFAULT_CONFIG.workers,
         help="worker processes for the parallel engine (1 = serial; "
         "see docs/parallelism.md)",
+    )
+    parser.add_argument(
+        "--shard-deadline-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="hung-worker watchdog: hard wall-clock deadline per shard "
+        "attempt for parallel runs (default: no deadline)",
     )
     parser.add_argument(
         "--telemetry",
@@ -69,11 +92,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _config(args: argparse.Namespace) -> SimulationConfig:
+    import dataclasses
+
+    faults = FaultProfile.from_name(getattr(args, "fault_profile", "paper"))
+    flood_name = getattr(args, "flood_profile", "off")
+    if flood_name != "off":
+        faults = dataclasses.replace(
+            faults, flood=FloodFaults.from_name(flood_name)
+        )
     return SimulationConfig(
         scale=args.scale,
         seed=args.seed,
-        faults=FaultProfile.from_name(getattr(args, "fault_profile", "paper")),
+        faults=faults,
         workers=getattr(args, "workers", 1),
+        shard_deadline_s=getattr(args, "shard_deadline_s", None),
     )
 
 
@@ -84,6 +116,7 @@ def _telemetry_meta(args: argparse.Namespace) -> dict:
         "seed": getattr(args, "seed", DEFAULT_CONFIG.seed),
         "scale": getattr(args, "scale", DEFAULT_CONFIG.scale),
         "fault_profile": getattr(args, "fault_profile", "paper"),
+        "flood_profile": getattr(args, "flood_profile", "off"),
         "workers": getattr(args, "workers", 1),
     }
 
@@ -196,6 +229,19 @@ def cmd_faults(args: argparse.Namespace) -> int:
             f"{transport.duplicate_probability:.1%}, "
             f"{transport.max_attempts} attempts"
         )
+    flood = profile.flood
+    if not flood.inert:
+        budget = (
+            f"budget {flood.daily_session_budget}/day"
+            if flood.gates
+            else "unbounded admission"
+        )
+        print(
+            f"flood: {flood.burst_probability:.0%} of days burst "
+            f"{flood.burst_sessions} sessions, {budget}, queue "
+            f"{flood.sensor_queue_capacity}/sensor, shed "
+            f"p={flood.shed_probability:.0%} for command sessions"
+        )
 
     print()
     print("== collector accounting ==")
@@ -208,6 +254,14 @@ def cmd_faults(args: argparse.Namespace) -> int:
     )
     balanced = result.collector.accounting_balanced()
     print(f"conservation law holds: {balanced}")
+    if result.collector.shed:
+        shed = result.collector.shed
+        generated = accounting["generated"]
+        print(
+            f"admission control: {result.collector.admitted} admitted, "
+            f"{result.collector.deferred} deferred, {shed} shed "
+            f"({shed / generated:.1%} of generated)"
+        )
     stats = result.channel.stats
     if stats.attempts:
         print(
@@ -390,6 +444,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
     parallel_matrix, parallel_dld_s = timed_matrix(workers)
     matrix_match = bool(np.array_equal(serial_matrix, parallel_matrix))
 
+    # Flood scenario: the same window under the burst flood preset —
+    # serial vs parallel (shed-path cost relative to the quiet runs
+    # above) and parallel again with the hung-worker watchdog armed, so
+    # the deadline plumbing's overhead on a healthy run is on record.
+    import dataclasses as _dataclasses
+
+    flood_deadline_s = 120.0
+    flood_config = config.replace(
+        faults=_dataclasses.replace(
+            config.faults, flood=FloodFaults.from_name("burst")
+        )
+    )
+    flood_serial, flood_serial_s = best_of(
+        lambda: run_simulation(flood_config), args.repeat
+    )
+    flood_parallel, flood_parallel_s = best_of(
+        lambda: run_simulation(flood_config, workers=workers), args.repeat
+    )
+    watchdog_config = flood_config.replace(shard_deadline_s=flood_deadline_s)
+    flood_watchdog, flood_watchdog_s = best_of(
+        lambda: run_simulation(watchdog_config, workers=workers), args.repeat
+    )
+    flood_digest = flood_serial.database.digest()
+    flood_match = (
+        flood_digest == flood_parallel.database.digest()
+        and flood_digest == flood_watchdog.database.digest()
+    )
+    flood_accounting = flood_serial.collector.accounting()
+    flood_generated = flood_accounting["generated"]
+
     report = {
         "workers": workers,
         "cpu_count": os.cpu_count(),
@@ -419,6 +503,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "speedup": round(serial_dld_s / parallel_dld_s, 3),
             "matrix_match": matrix_match,
         },
+        "flood": {
+            "profile": "burst",
+            "serial_s": round(flood_serial_s, 4),
+            "parallel_s": round(flood_parallel_s, 4),
+            "watchdog_on_s": round(flood_watchdog_s, 4),
+            "watchdog_deadline_s": flood_deadline_s,
+            "generated": flood_generated,
+            "admitted": flood_accounting["admitted"],
+            "deferred": flood_accounting["deferred"],
+            "shed": flood_accounting["shed"],
+            "shed_fraction": round(
+                flood_accounting["shed"] / max(flood_generated, 1), 4
+            ),
+            "shed_path_overhead_pct": round(
+                (flood_serial_s / serial_day_s - 1.0) * 100, 2
+            ),
+            "watchdog_overhead_pct": round(
+                (flood_watchdog_s / flood_parallel_s - 1.0) * 100, 2
+            ),
+            "digest_match": flood_match,
+        },
     }
     print(f"== bench: serial vs {workers} workers ==")
     print(
@@ -436,10 +541,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"({telemetry_overhead:+.1%} overhead, "
         f"digest match: {telemetry_match})"
     )
+    print(
+        f"flood:      {flood_serial_s:.3f}s serial, "
+        f"{flood_parallel_s:.3f}s parallel, "
+        f"{flood_watchdog_s:.3f}s watchdog-on "
+        f"({flood_accounting['shed']} shed of {flood_generated}, "
+        f"digest match: {flood_match})"
+    )
     if args.json is not None:
         args.json.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.json}")
-    return 0 if digest_match and matrix_match and telemetry_match else 1
+    return (
+        0
+        if digest_match and matrix_match and telemetry_match and flood_match
+        else 1
+    )
 
 
 def cmd_report(args: argparse.Namespace) -> int:

@@ -19,6 +19,7 @@ from repro.faults.plan import (
     PAPER_OUTAGE_START,
     FaultProfile,
 )
+from repro.honeypot.cowrie import DEFAULT_SESSION_TIMEOUT_S
 
 #: First day of the observation window (paper section 3.3).
 WINDOW_START = date(2021, 12, 1)
@@ -50,7 +51,10 @@ class SimulationConfig:
         n_honeypots: fleet size (221 in the paper).
         n_countries: number of countries hosting honeypots (55).
         n_honeypot_ases: number of distinct ASes hosting honeypots (65).
-        session_timeout_s: honeypot-side idle timeout (three minutes).
+        session_timeout_s: honeypot-side idle timeout.  Defaults to the
+            sensor's own constant
+            (:data:`repro.honeypot.cowrie.DEFAULT_SESSION_TIMEOUT_S`,
+            three minutes) so config and sensor cannot drift.
         include_telnet: also simulate the Telnet side of the honeynet
             (the paper records it but analyses only SSH).
         faults: the fault-injection profile (see :mod:`repro.faults`).
@@ -67,6 +71,12 @@ class SimulationConfig:
             this knob trades wall-clock for cores, never correctness —
             it is deliberately excluded from checkpoint fingerprints
             and dataset cache keys.
+        shard_deadline_s: hard wall-clock deadline per shard attempt for
+            the parallel engine's hung-worker watchdog (``None`` — the
+            default — disables the watchdog).  An execution knob like
+            ``workers``: it can change which code path produced a batch
+            (cancel → retry → serial fallback), never the bytes in it,
+            so it too is excluded from fingerprints and cache keys.
     """
 
     seed: int = 7
@@ -76,10 +86,11 @@ class SimulationConfig:
     n_honeypots: int = 221
     n_countries: int = 55
     n_honeypot_ases: int = 65
-    session_timeout_s: float = 180.0
+    session_timeout_s: float = DEFAULT_SESSION_TIMEOUT_S
     include_telnet: bool = True
     faults: FaultProfile = field(default_factory=FaultProfile.paper)
     workers: int = 1
+    shard_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -90,6 +101,10 @@ class SimulationConfig:
             raise ValueError("need at least one honeypot")
         if self.workers < 1:
             raise ValueError(f"workers must be at least 1, got {self.workers}")
+        if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
+            raise ValueError(
+                f"shard_deadline_s must be positive, got {self.shard_deadline_s}"
+            )
 
     def scaled(self, paper_count: float) -> float:
         """Return ``paper_count`` scaled to this configuration."""

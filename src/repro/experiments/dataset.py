@@ -35,6 +35,7 @@ from repro.config import SimulationConfig
 from repro.faults.coverage import (
     CoverageReport,
     integrity_note,
+    overload_note,
     validate_coverage,
 )
 from repro.honeypot.session import SessionRecord
@@ -93,15 +94,18 @@ class Dataset:
         so a dark month reads as "instrument gap", never "attacks
         stopped".  When records were lost to storage corruption and
         quarantined (a recovered dataset rather than a live run), the
-        loss is annotated too.
+        loss is annotated too, and records shed by admission control
+        during flood days are annotated exactly like outage gaps.
         """
         notes = self.coverage.notes()
         collector = self.simulation.collector
-        note = integrity_note(
-            collector.quarantined, collector.accounting()["generated"]
-        )
-        if note is not None:
-            notes.append(note)
+        generated = collector.accounting()["generated"]
+        for note in (
+            integrity_note(collector.quarantined, generated),
+            overload_note(collector.shed, generated),
+        ):
+            if note is not None:
+                notes.append(note)
         return notes
 
     def file_sessions(self) -> list[SessionRecord]:
@@ -182,10 +186,13 @@ def build_dataset(config: SimulationConfig, use_cache: bool = True) -> Dataset:
         telemetry.count("dataset.builds")
         with telemetry.span("dataset.simulate"), telemetry.profile("simulate"):
             simulation = run_simulation(config)
-        # Refuse to analyse a dataset whose instrument was mostly dark;
-        # every figure downstream assumes the gaps are annotatable, not
-        # dominant.
-        validate_coverage(simulation.coverage)
+        # Refuse to analyse a dataset whose instrument was mostly dark
+        # or mostly shedding; every figure downstream assumes the gaps
+        # are annotatable, not dominant.
+        validate_coverage(
+            simulation.coverage,
+            accounting=simulation.collector.accounting(),
+        )
         with telemetry.span("dataset.external"):
             storage_ips = [
                 host.ip for host in simulation.infrastructure.hosts

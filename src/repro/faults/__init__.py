@@ -20,6 +20,9 @@ the simulation:
   and truncation of checkpoint files, mangled/duplicated/reordered
   session-log lines, and injected worker crashes for the parallel
   engine.
+* :mod:`repro.faults.flood` — seeded *overload* faults: scan-campaign
+  session bursts that push arrivals past the collector's admission
+  budget (the defences live in :mod:`repro.overload`).
 * :mod:`repro.faults.coverage` — per-month / per-sensor coverage
   accounting so degraded datasets are analysed with explicit gap
   annotations instead of silently misread.
@@ -41,9 +44,11 @@ from repro.faults.checkpoint import (
 )
 from repro.faults.corruption import (
     WorkerCrash,
+    WorkerHang,
     build_checkpoint_corruptor,
     build_log_corruptor,
     crash_point,
+    hang_point,
 )
 from repro.faults.coverage import (
     CoverageError,
@@ -52,9 +57,14 @@ from repro.faults.coverage import (
     integrity_note,
     validate_coverage,
 )
+from repro.faults.flood import (
+    FloodGenerator,
+    build_flood_generator,
+)
 from repro.faults.plan import (
     FaultPlan,
     FaultProfile,
+    FloodFaults,
     IntegrityFaults,
     OutageWindow,
     SensorDowntime,
@@ -75,6 +85,8 @@ __all__ = [
     "DirectChannel",
     "FaultPlan",
     "FaultProfile",
+    "FloodFaults",
+    "FloodGenerator",
     "IntegrityFaults",
     "OutageWindow",
     "ResilientChannel",
@@ -82,14 +94,17 @@ __all__ = [
     "SensorDowntime",
     "TransportFaults",
     "WorkerCrash",
+    "WorkerHang",
     "audit_checkpoint",
     "build_channel",
     "build_checkpoint_corruptor",
     "build_coverage_report",
+    "build_flood_generator",
     "build_log_corruptor",
     "compile_fault_plan",
     "config_fingerprint",
     "crash_point",
+    "hang_point",
     "has_checkpoint",
     "integrity_note",
     "load_checkpoint",

@@ -71,6 +71,11 @@ _COUNTER_KEYS = (
     "quarantined",
 )
 
+#: Admission-gate counters.  Serialized only when nonzero, so a run
+#: with no gate (or one that never engaged) writes byte-identical
+#: checkpoints to the pre-overload format; restore tolerates absence.
+_OVERLOAD_COUNTER_KEYS = ("admitted", "shed", "deferred")
+
 #: Document sections covered by per-section checksums.
 _SECTIONS = ("honeypot_counters", "counters", "sessions", "dead_letters")
 
@@ -110,6 +115,12 @@ def config_fingerprint(config: "SimulationConfig") -> str:
         "include_telnet": config.include_telnet,
         "faults": repr(config.faults),
     }
+    # FloodFaults is declared repr=False on FaultProfile, so an inert
+    # flood keeps the payload — and every pre-overload fingerprint —
+    # unchanged; an active flood shapes the dataset and must mismatch.
+    # (workers and shard_deadline_s are execution knobs: excluded.)
+    if not config.faults.flood.inert:
+        payload["flood"] = repr(config.faults.flood)
     return sha256_hex(json.dumps(payload, sort_keys=True))
 
 
@@ -167,13 +178,18 @@ def save_checkpoint(
     """
     from repro.honeynet.io import session_to_dict
 
+    counters = {key: getattr(collector, key) for key in _COUNTER_KEYS}
+    for key in _OVERLOAD_COUNTER_KEYS:
+        value = getattr(collector, key)
+        if value:
+            counters[key] = value
     sections = {
         "honeypot_counters": {
             honeypot.honeypot_id: honeypot._counter
             for honeypot in honeynet.honeypots
             if honeypot._counter
         },
-        "counters": {key: getattr(collector, key) for key in _COUNTER_KEYS},
+        "counters": counters,
         "sessions": [seal(session_to_dict(s)) for s in collector.sessions],
         "dead_letters": [
             seal(session_to_dict(s)) for s in collector.dead_letters
@@ -259,7 +275,7 @@ def _checkpoint_from_document(document: dict, path: Path | str) -> Checkpoint:
             },
             counters={
                 key: int(document["counters"].get(key, 0))
-                for key in _COUNTER_KEYS
+                for key in _COUNTER_KEYS + _OVERLOAD_COUNTER_KEYS
             },
             sessions=[session_from_dict(p) for p in document["sessions"]],
             dead_letters=[
@@ -287,6 +303,27 @@ def audit_checkpoint(path: Path | str) -> str | None:
     except CheckpointError as error:
         return str(error)
     return None
+
+
+def read_checkpoint_counters(path: Path | str) -> dict[str, int] | None:
+    """The accounting counters of one checkpoint, without a config.
+
+    Returns the counter dict (every known key, absent ones as 0) plus a
+    ``stored`` entry derived from the sessions section, or ``None`` when
+    the file fails structural validation.  Used by ``repro verify`` to
+    audit the conservation law — including shed totals — over
+    checkpoint trees it has no :class:`~repro.config.SimulationConfig`
+    for.
+    """
+    try:
+        document = _read_document(path)
+        _validate_document(document, path)
+        checkpoint = _checkpoint_from_document(document, path)
+    except CheckpointError:
+        return None
+    counters = dict(checkpoint.counters)
+    counters["stored"] = len(checkpoint.sessions)
+    return counters
 
 
 def load_checkpoint(path: Path | str, config: "SimulationConfig") -> Checkpoint:

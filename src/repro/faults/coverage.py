@@ -95,6 +95,23 @@ def integrity_note(lost: int, total: int) -> str | None:
     )
 
 
+def overload_note(shed: int, total: int) -> str | None:
+    """Figure annotation for records shed by admission control.
+
+    The overload analogue of :func:`integrity_note`: ``shed`` is the
+    load-shedding bucket out of ``total`` generated records.  Returns
+    ``None`` when nothing was shed, so an unflooded run's figures carry
+    no overload annotation at all.
+    """
+    if shed <= 0:
+        return None
+    fraction = shed / total if total else 0.0
+    return (
+        f"overload: {shed} of {total} records ({fraction:.2%}) shed by "
+        "admission control during flood days"
+    )
+
+
 def build_coverage_report(plan: FaultPlan) -> CoverageReport:
     """Scheduled coverage under ``plan`` (ground truth, not inference).
 
@@ -152,12 +169,21 @@ def validate_coverage(
     report: CoverageReport,
     min_month_fraction: float = 0.1,
     min_overall_fraction: float = 0.6,
+    *,
+    accounting: dict[str, int] | None = None,
+    max_shed_fraction: float = 0.75,
 ) -> None:
     """Fail loudly when coverage drops below the given thresholds.
 
     The defaults are deliberately permissive: they catch profiles that
     black out whole stretches of the window (which would invalidate the
     trend analyses) while letting realistic churn through.
+
+    ``accounting`` (a collector accounting dict) extends the check to
+    the overload dimension: a run whose admission gate shed more than
+    ``max_shed_fraction`` of everything generated is a stress artifact,
+    not a dataset — trend and share analyses over it would mostly
+    measure the shed policy.
     """
     overall = report.overall_fraction
     if overall < min_overall_fraction:
@@ -179,3 +205,13 @@ def validate_coverage(
             f"months below the {min_month_fraction:.0%} coverage floor: "
             f"{listed}"
         )
+    if accounting is not None:
+        shed = accounting.get("shed", 0)
+        generated = accounting.get("generated", 0)
+        if generated and shed / generated > max_shed_fraction:
+            raise CoverageError(
+                f"admission control shed {shed} of {generated} records "
+                f"({shed / generated:.1%}) — above the "
+                f"{max_shed_fraction:.0%} ceiling, the dataset mostly "
+                "reflects the shed policy rather than attacker behaviour"
+            )

@@ -101,6 +101,110 @@ class TransportFaults:
 
 
 @dataclass(frozen=True)
+class FloodFaults:
+    """Overload model: bursty scanning floods and bounded ingest.
+
+    Real honeynet arrivals are heavy-tailed: most days are steady scan
+    background, but some days a scanning campaign multiplies the volume.
+    This knob set injects those days and bounds what the collector may
+    absorb:
+
+    * ``burst_probability`` — each calendar day independently hosts a
+      scan flood with this probability (seeded per day ordinal, so the
+      same seed floods the same days in every engine).
+    * ``burst_sessions`` — extra scanner no-op sessions injected on a
+      flood day, spread across the fleet.
+    * ``daily_session_budget`` — fleet-wide admission budget: how many
+      records the collector may admit per calendar day before the
+      load-shedding policy engages (``None`` disables admission control
+      entirely — the pre-overload pipeline, byte for byte).
+    * ``sensor_queue_capacity`` — bounded per-sensor deferral queue for
+      over-budget records worth keeping; overflow is shed.
+    * ``shed_probability`` — over budget, a command session (priority 1)
+      is shed with this probability and deferred otherwise; the decision
+      is seeded per session id, so it is independent of delivery order.
+
+    The field is declared with ``repr=False`` on :class:`FaultProfile`
+    so an inert flood leaves ``repr(profile)`` — and therefore every
+    checkpoint fingerprint written before this knob existed — unchanged;
+    an *active* flood is folded into the fingerprint explicitly by
+    :func:`repro.faults.checkpoint.config_fingerprint`.
+    """
+
+    burst_probability: float = 0.0
+    burst_sessions: int = 0
+    daily_session_budget: int | None = None
+    sensor_queue_capacity: int = 8
+    shed_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("burst_probability", "shed_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.burst_sessions < 0:
+            raise ValueError("burst_sessions must be non-negative")
+        if self.daily_session_budget is not None and self.daily_session_budget < 0:
+            raise ValueError("daily_session_budget must be non-negative")
+        if self.sensor_queue_capacity < 0:
+            raise ValueError("sensor_queue_capacity must be non-negative")
+
+    @property
+    def inert(self) -> bool:
+        """True when neither bursts nor admission control can engage."""
+        return (
+            (self.burst_probability == 0.0 or self.burst_sessions == 0)
+            and self.daily_session_budget is None
+        )
+
+    @property
+    def floods(self) -> bool:
+        """True when flood days can inject extra arrivals."""
+        return self.burst_probability > 0.0 and self.burst_sessions > 0
+
+    @property
+    def gates(self) -> bool:
+        """True when the admission budget is bounded."""
+        return self.daily_session_budget is not None
+
+    @classmethod
+    def from_name(cls, name: str) -> "FloodFaults":
+        """Resolve a named flood preset (CLI ``--flood-profile``).
+
+        ``off`` is the inert default; ``burst`` floods roughly one day
+        in four past a budget the steady background rarely reaches, so
+        shedding concentrates on flood days; ``storm`` floods most days
+        against a budget *below* the bench-scale background volume and a
+        shallow queue, so every day over-runs — exercising deferral of
+        state-carrying sessions as well as aggressive shedding.
+        """
+        presets = {
+            "off": cls,
+            "burst": lambda: cls(
+                burst_probability=0.3,
+                burst_sessions=500,
+                daily_session_budget=200,
+                sensor_queue_capacity=8,
+                shed_probability=0.4,
+            ),
+            "storm": lambda: cls(
+                burst_probability=0.7,
+                burst_sessions=1500,
+                daily_session_budget=60,
+                sensor_queue_capacity=4,
+                shed_probability=0.7,
+            ),
+        }
+        try:
+            return presets[name]()
+        except KeyError:
+            known = ", ".join(sorted(presets))
+            raise ValueError(
+                f"unknown flood profile {name!r} (known: {known})"
+            ) from None
+
+
+@dataclass(frozen=True)
 class IntegrityFaults:
     """Corruption/crash model for persisted artifacts and shard workers.
 
@@ -124,10 +228,21 @@ class IntegrityFaults:
     * ``worker_crash_probability`` — each parallel shard attempt dies
       mid-run with this probability (the engine retries, then falls
       back to serial execution for that shard).
+    * ``worker_hang_probability`` — each parallel shard attempt *stalls*
+      mid-run with this probability: the worker stops making progress
+      for ``worker_hang_seconds`` and then dies like a crash.  With a
+      shard deadline configured
+      (:attr:`repro.config.SimulationConfig.shard_deadline_s`), the
+      hung-worker watchdog cancels the attempt at the hard deadline
+      instead of waiting the stall out.
 
     All decisions are drawn from seed-derived streams keyed by artifact
     and attempt, never from the simulation's record streams, so enabling
     corruption cannot change what a fault-free run would have produced.
+    The hang fields are declared ``repr=False``: a hang only stalls the
+    execution engine — the recovered output is byte-identical — so,
+    like the ``workers`` knob, it stays out of ``repr(profile)`` and
+    therefore out of checkpoint fingerprints.
     """
 
     checkpoint_corruption_probability: float = 0.0
@@ -135,6 +250,8 @@ class IntegrityFaults:
     line_duplicate_probability: float = 0.0
     line_reorder_probability: float = 0.0
     worker_crash_probability: float = 0.0
+    worker_hang_probability: float = field(default=0.0, repr=False)
+    worker_hang_seconds: float = field(default=0.05, repr=False)
 
     def __post_init__(self) -> None:
         for name in (
@@ -146,25 +263,29 @@ class IntegrityFaults:
             value = getattr(self, name)
             if not 0.0 <= value < 1.0:
                 raise ValueError(f"{name} must be in [0, 1), got {value}")
-        # A certain crash is a legitimate schedule (it forces the serial
-        # fallback), so this one admits 1.0.
-        if not 0.0 <= self.worker_crash_probability <= 1.0:
-            raise ValueError(
-                "worker_crash_probability must be in [0, 1], got "
-                f"{self.worker_crash_probability}"
-            )
+        # A certain crash (or hang) is a legitimate schedule — it forces
+        # the serial fallback / watchdog ladder — so these admit 1.0.
+        for name in ("worker_crash_probability", "worker_hang_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.worker_hang_seconds < 0:
+            raise ValueError("worker_hang_seconds must be non-negative")
         if self.line_mangle_probability + self.line_duplicate_probability >= 1.0:
             raise ValueError("combined per-line corruption probability must be < 1")
 
     @property
     def inert(self) -> bool:
-        """True when no corruption or crash can ever be injected."""
+        """True when no corruption, crash or hang can ever be injected."""
         return (
             self.checkpoint_corruption_probability == 0.0
             and self.line_mangle_probability == 0.0
             and self.line_duplicate_probability == 0.0
             and self.line_reorder_probability == 0.0
             and self.worker_crash_probability == 0.0
+            and self.worker_hang_probability == 0.0
         )
 
     @property
@@ -193,6 +314,13 @@ class FaultProfile:
         transport: loss model for the collection path.
         integrity: corruption/crash model for persisted artifacts and
             shard workers (:class:`IntegrityFaults`).
+        flood: overload model — bursty scan floods plus the admission
+            budget that sheds them (:class:`FloodFaults`).  Orthogonal
+            to the named profiles: the CLI composes it onto any of them
+            via ``--flood-profile``.  Declared ``repr=False`` so the
+            inert default keeps ``repr(profile)`` — and the checkpoint
+            fingerprints derived from it — byte-identical to the
+            pre-overload format.
     """
 
     name: str = "paper"
@@ -201,6 +329,7 @@ class FaultProfile:
     crash_downtime_mean_days: float = 2.0
     transport: TransportFaults = field(default_factory=TransportFaults)
     integrity: IntegrityFaults = field(default_factory=IntegrityFaults)
+    flood: FloodFaults = field(default_factory=FloodFaults, repr=False)
 
     def __post_init__(self) -> None:
         if self.crashes_per_sensor_year < 0:
@@ -239,9 +368,10 @@ class FaultProfile:
         On top of the loss model, the integrity knobs corrupt what gets
         *persisted*: one saved checkpoint in four is bit-flipped or
         truncated, a few percent of exported log lines are mangled,
-        duplicated or reordered, and parallel shard workers crash
-        mid-run — exercising generation fallback, quarantine-and-recover
-        and the crash-tolerant engine on every stress-profile test.
+        duplicated or reordered, and parallel shard workers crash or
+        briefly hang mid-run — exercising generation fallback,
+        quarantine-and-recover, the crash-tolerant engine and the
+        hung-worker watchdog ladder on every stress-profile test.
         """
         return cls(
             name="stress",
@@ -263,6 +393,8 @@ class FaultProfile:
                 line_duplicate_probability=0.02,
                 line_reorder_probability=0.02,
                 worker_crash_probability=0.2,
+                worker_hang_probability=0.15,
+                worker_hang_seconds=0.05,
             ),
         )
 

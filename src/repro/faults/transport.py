@@ -132,7 +132,10 @@ class ResilientChannel:
                 if registry is not None:
                     registry.count("transport.transient_failures")
             else:
-                stored = collector.accept(record)
+                # Route through the admission gate when one is attached;
+                # a deferred record reports unstored here and lands at
+                # the day-boundary drain instead.
+                stored = collector.admit(record)
                 if stored:
                     self.stats.delivered += 1
                     if registry is not None:

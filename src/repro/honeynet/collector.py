@@ -11,13 +11,18 @@ Every record offered to the collection boundary ends in exactly one
 bucket, so the accounting identity
 
     generated == stored + dropped_outage + dropped_sensor_down
-                 + dead_lettered + deduplicated + quarantined
+                 + dead_lettered + deduplicated + quarantined + shed
 
 holds at all times (:meth:`Collector.accounting_balanced`).  The
 ``quarantined`` bucket is always zero during simulation — it exists for
 collectors restored from recovered artifacts
 (:func:`repro.honeynet.io.recover_jsonl`), where records lost to
-on-disk corruption must still balance the books.
+on-disk corruption must still balance the books.  The ``shed`` bucket
+is filled only when an admission gate is attached
+(:mod:`repro.overload.admission`); ``admitted`` and ``deferred`` are
+*event* counters along the way to a terminal bucket, not buckets
+themselves — a deferred record is admitted when the day drains, so it
+still ends up stored (or deduplicated).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from typing import Iterable
 from repro import telemetry
 from repro.faults.plan import PAPER_OUTAGE, OutageWindow
 from repro.honeypot.session import SessionRecord
+from repro.overload.admission import ADMIT, DEFER, AdmissionController
 from repro.util.timeutils import epoch_ordinal
 
 #: Drop reasons understood by :meth:`Collector.record_drop`.
@@ -54,6 +60,14 @@ class Collector:
     #: Records lost to on-disk corruption, accounted by the quarantine
     #: store (always 0 for live simulation runs).
     quarantined: int = 0
+    #: Admission-gate counters (all 0 when no gate is attached).
+    #: ``shed`` is a terminal bucket in the conservation law; ``admitted``
+    #: and ``deferred`` count gate events on the way to other buckets.
+    admitted: int = 0
+    shed: int = 0
+    deferred: int = 0
+    #: The bounded-ingest gate, or None for an unbounded collector.
+    admission: AdmissionController | None = None
     #: Outage windows precomputed as inclusive ordinal ranges so the
     #: per-record check is integer comparisons, not date construction.
     _outage_ordinals: tuple[tuple[int, int], ...] = field(
@@ -101,6 +115,47 @@ class Collector:
         telemetry.count("collector.stored")
         return True
 
+    def admit(self, record: SessionRecord) -> bool:
+        """Offer a delivered record to the admission gate, then store it.
+
+        With no gate attached this is exactly :meth:`accept`.  With a
+        gate, the verdict routes the record: admitted records are
+        stored (or deduplicated), deferred records wait in the gate's
+        queues until :meth:`end_of_day`, shed records are dropped and
+        accounted in the ``shed`` bucket.  Returns True iff stored now.
+        """
+        if self.admission is None:
+            return self.accept(record)
+        verdict = self.admission.offer(record)
+        if verdict == ADMIT:
+            self.admitted += 1
+            telemetry.count("overload.admitted")
+            return self.accept(record)
+        if verdict == DEFER:
+            self.deferred += 1
+            telemetry.count("overload.deferred")
+            return False
+        self.shed += 1
+        telemetry.count("overload.shed")
+        return False
+
+    def end_of_day(self) -> int:
+        """Drain the admission gate's deferral queues at a day boundary.
+
+        Every deferred record is admitted (deferral delays, it never
+        loses), and the gate's daily budget resets.  Returns how many
+        drained records were stored.  No-op without a gate.
+        """
+        if self.admission is None:
+            return 0
+        stored = 0
+        for record in self.admission.drain():
+            self.admitted += 1
+            telemetry.count("overload.admitted")
+            if self.accept(record):
+                stored += 1
+        return stored
+
     def dead_letter(self, record: SessionRecord) -> None:
         """Park a record the transport permanently failed to deliver."""
         self.dead_letters.append(record)
@@ -118,7 +173,7 @@ class Collector:
         if reason is not None:
             self.record_drop(reason)
             return False
-        return self.accept(record)
+        return self.admit(record)
 
     def ingest_many(self, records: Iterable[SessionRecord]) -> int:
         """Ingest a batch (any iterable); returns how many were stored."""
@@ -147,6 +202,9 @@ class Collector:
             "deduplicated": self.deduplicated,
             "dead_lettered": self.dead_lettered,
             "quarantined": self.quarantined,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "deferred": self.deferred,
         }
 
     def accounting_balanced(self) -> bool:
@@ -158,6 +216,7 @@ class Collector:
             + self.dead_lettered
             + self.deduplicated
             + self.quarantined
+            + self.shed
         )
 
     def absorb(
@@ -197,6 +256,9 @@ class Collector:
         self.deduplicated += counters.get("deduplicated", 0)
         self.dead_lettered += counters.get("dead_lettered", 0)
         self.quarantined += counters.get("quarantined", 0)
+        self.admitted += counters.get("admitted", 0)
+        self.shed += counters.get("shed", 0)
+        self.deferred += counters.get("deferred", 0)
 
     def restore(
         self,
@@ -215,3 +277,6 @@ class Collector:
         self.deduplicated = counters.get("deduplicated", 0)
         self.dead_lettered = counters.get("dead_lettered", 0)
         self.quarantined = counters.get("quarantined", 0)
+        self.admitted = counters.get("admitted", 0)
+        self.shed = counters.get("shed", 0)
+        self.deferred = counters.get("deferred", 0)

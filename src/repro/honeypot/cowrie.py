@@ -28,6 +28,11 @@ from repro.util.hashing import short_hash
 #: bounded by its 3-minute timeout; curl-proxy abuse sessions send ~100).
 MAX_LINES_PER_SESSION = 300
 
+#: The honeypot-side idle timeout (paper section 3.1: three minutes).
+#: Canonical definition — ``SimulationConfig.session_timeout_s`` derives
+#: its default from this constant so the two cannot drift.
+DEFAULT_SESSION_TIMEOUT_S = 180.0
+
 
 @dataclass
 class CowrieHoneypot:
@@ -41,7 +46,7 @@ class CowrieHoneypot:
     telnet_port: int = 23
     policy: CredentialPolicy = field(default_factory=lambda: DEFAULT_POLICY)
     profile: HostProfile = field(default_factory=HostProfile)
-    timeout_s: float = 180.0
+    timeout_s: float = DEFAULT_SESSION_TIMEOUT_S
     _counter: int = field(default=0, repr=False)
 
     def _make_context(

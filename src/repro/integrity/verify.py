@@ -61,6 +61,10 @@ class IntegrityAudit:
     quarantine_entries: int = 0
     records_verified: int = 0
     records_lost: int = 0
+    #: Records the admission gate shed, summed over the newest valid
+    #: generation of every checkpoint group (an *explained* loss:
+    #: shedding is accounted, like outage gaps, not damage).
+    records_shed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -86,6 +90,11 @@ class IntegrityAudit:
             f"{self.records_lost} lost (quarantine holds "
             f"{self.quarantine_entries} entries)"
         )
+        if self.records_shed:
+            lines.append(
+                f"{self.records_shed} records shed by admission control "
+                "(accounted degraded-mode loss, not damage)"
+            )
         lines.append("PASS" if self.ok else
                      f"FAIL: {len(self.unexplained())} unexplained discrepancies")
         return "\n".join(lines)
@@ -97,6 +106,7 @@ class IntegrityAudit:
                 "ok": self.ok,
                 "records_verified": self.records_verified,
                 "records_lost": self.records_lost,
+                "records_shed": self.records_shed,
                 "quarantine_entries": self.quarantine_entries,
                 "findings": [
                     {
@@ -314,10 +324,42 @@ def _audit_jsonl(
         )
 
 
+def _conservation_imbalance(counters: dict[str, int]) -> str | None:
+    """Check the collection conservation law over checkpoint counters.
+
+    Every record offered to the collection boundary must sit in exactly
+    one terminal bucket, shed included:
+
+        generated == stored + dropped_outage + dropped_sensor_down
+                     + dead_lettered + deduplicated + quarantined + shed
+
+    Returns a description of the imbalance, or ``None`` when the books
+    balance.  A checkpoint that passes its checksums but fails this is
+    an unexplained discrepancy — bytes intact, accounting broken.
+    """
+    generated = counters.get("generated", 0)
+    accounted = (
+        counters.get("stored", 0)
+        + counters.get("dropped_outage", 0)
+        + counters.get("dropped_sensor_down", 0)
+        + counters.get("dead_lettered", 0)
+        + counters.get("deduplicated", 0)
+        + counters.get("quarantined", 0)
+        + counters.get("shed", 0)
+    )
+    if generated == accounted:
+        return None
+    return (
+        f"generated {generated} != {accounted} accounted "
+        f"(stored + dropped + dead-lettered + deduplicated + "
+        f"quarantined + shed)"
+    )
+
+
 def _audit_checkpoint_group(
     checkpoint_base: Path, members: list[Path], base: Path, audit: IntegrityAudit
 ) -> None:
-    from repro.faults.checkpoint import audit_checkpoint
+    from repro.faults.checkpoint import audit_checkpoint, read_checkpoint_counters
 
     members = sorted(members, key=_generation_rank)
     problems = {member: audit_checkpoint(member) for member in members}
@@ -328,6 +370,24 @@ def _audit_checkpoint_group(
         relative = str(member.relative_to(base))
         problem = problems[member]
         if problem is None:
+            imbalance = None
+            if member == newest_valid:
+                counters = read_checkpoint_counters(member)
+                if counters is not None:
+                    imbalance = _conservation_imbalance(counters)
+                    if imbalance is None:
+                        audit.records_shed += counters.get("shed", 0)
+            if imbalance is not None:
+                audit.findings.append(
+                    Finding(
+                        relative,
+                        "checkpoint",
+                        "failed",
+                        "all checksums verified but the accounting does "
+                        f"not balance: {imbalance}",
+                    )
+                )
+                continue
             audit.findings.append(
                 Finding(relative, "checkpoint", "ok", "all checksums verified")
             )

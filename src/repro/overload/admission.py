@@ -1,0 +1,127 @@
+"""Bounded ingest: a per-day admission budget with priority-aware shedding.
+
+The collector normally accepts every delivered record.  Under a scan
+flood that assumption breaks — the paper's collector absorbed bursts of
+millions of sessions per day — so the admission gate bounds what a
+simulated day may store and sheds the excess *deterministically*:
+
+* Records are classified by how much state they carry
+  (:func:`record_priority`): sessions that downloaded files rank above
+  sessions that ran commands, which rank above scanner no-ops.
+* While the day's budget lasts, everything is admitted.
+* Past the budget, no-ops are shed outright; command sessions survive a
+  seeded per-session coin (keyed by session id, so the decision is
+  independent of arrival order); file-event sessions are always worth
+  keeping and are deferred.
+* Survivors wait in a bounded per-sensor deferral queue; a full queue
+  sheds.  At the end of the day the queues drain in sorted sensor-id
+  order — deferral delays a record within its day, it never loses one —
+  and the budget resets.
+
+Because the budget is per *day* and every simulated day lives inside
+exactly one shard, the gate's decisions are identical however the
+window is sharded: admission is a pure function of (day's records,
+seeded coins), which is what keeps the serial and parallel engines
+digest-equal under flood.
+
+This module must not import :mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FloodFaults
+from repro.util.rng import RngTree
+
+if TYPE_CHECKING:
+    from repro.honeypot.session import SessionRecord
+
+#: Admission verdicts returned by :meth:`AdmissionController.offer`.
+ADMIT = "admit"
+DEFER = "defer"
+SHED = "shed"
+
+
+def record_priority(record: "SessionRecord") -> int:
+    """How much observable state a session carries (higher = keep).
+
+    2 — downloaded or uploaded files (the rarest, most valuable class);
+    1 — ran commands; 0 — a scanner no-op (connect, maybe fail auth,
+    leave).  The shed policy keeps state-changing sessions and drops
+    no-ops first, mirroring what a real collector's sampling would do.
+    """
+    if record.file_events:
+        return 2
+    if record.commands:
+        return 1
+    return 0
+
+
+@dataclass
+class AdmissionController:
+    """The per-day admission gate for one collector.
+
+    Stateful across one simulated day: :meth:`offer` hands out verdicts
+    while the day runs, :meth:`drain` releases the deferral queues and
+    resets the budget at the day boundary.  All shed coins come from
+    ``tree.child(session id)``, so verdicts are a pure function of the
+    record — never of arrival order or interleaving.
+    """
+
+    budget: int
+    queue_capacity: int
+    shed_probability: float
+    tree: RngTree
+    _admitted_today: int = field(default=0, init=False, repr=False)
+    _queues: dict[str, list["SessionRecord"]] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def offer(self, record: "SessionRecord") -> str:
+        """The gate's verdict for ``record``: ADMIT, DEFER or SHED."""
+        if self._admitted_today < self.budget:
+            self._admitted_today += 1
+            return ADMIT
+        priority = record_priority(record)
+        if priority == 0:
+            return SHED
+        if priority == 1:
+            coin = self.tree.child(record.session_id).rand()
+            if coin.random() < self.shed_probability:
+                return SHED
+        queue = self._queues.setdefault(record.honeypot_id, [])
+        if len(queue) >= self.queue_capacity:
+            return SHED
+        queue.append(record)
+        return DEFER
+
+    def drain(self) -> list["SessionRecord"]:
+        """Release every deferred record and reset the day's budget.
+
+        Records come back grouped by sensor in sorted sensor-id order,
+        FIFO within a sensor — a deterministic order independent of how
+        the day's arrivals interleaved across sensors.
+        """
+        out: list["SessionRecord"] = []
+        for honeypot_id in sorted(self._queues):
+            out.extend(self._queues[honeypot_id])
+        self._queues.clear()
+        self._admitted_today = 0
+        return out
+
+
+def build_admission_controller(
+    faults: FloodFaults | None, tree: RngTree
+) -> AdmissionController | None:
+    """An admission gate for one collector, or ``None`` when unbounded."""
+    if faults is None or not faults.gates:
+        return None
+    assert faults.daily_session_budget is not None
+    return AdmissionController(
+        budget=faults.daily_session_budget,
+        queue_capacity=faults.sensor_queue_capacity,
+        shed_probability=faults.shed_probability,
+        tree=tree,
+    )

@@ -36,6 +36,17 @@ shard serially in-process.  Because every attempt presets the honeypot
 counters absolutely and uses the same day streams, the recovered output
 is byte-identical, so digest equality with the serial engine holds
 under every crash schedule.
+
+Crashes announce themselves; *hangs* do not.  With
+``config.shard_deadline_s`` set, a hung-worker watchdog guards every
+shard attempt with soft/hard deadlines
+(:class:`~repro.overload.watchdog.DeadlinePolicy`): a shard past its
+soft deadline is logged and counted, one past its hard deadline is
+cancelled and fed into the same retry → serial-fallback ladder, so an
+injected :class:`~repro.faults.corruption.WorkerHang` (or a real stall)
+never blocks the run past the hard deadline.  The deadline, like the
+worker count, can only change which code path produced a batch — never
+its bytes.
 """
 
 from __future__ import annotations
@@ -44,6 +55,7 @@ import logging
 import multiprocessing
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from datetime import date
@@ -61,8 +73,14 @@ from repro.attackers.orchestrator import (
 )
 from repro.config import SimulationConfig
 from repro.faults.checkpoint import save_checkpoint
-from repro.faults.corruption import WorkerCrash, crash_point
+from repro.faults.corruption import (
+    WorkerCrash,
+    WorkerHang,
+    crash_point,
+    hang_point,
+)
 from repro.honeypot.session import SessionRecord
+from repro.overload.watchdog import DeadlinePolicy, ShardDeadlineExceeded
 from repro.parallel.shards import Shard, plan_shards
 from repro import telemetry
 from repro.util.timeutils import days_between
@@ -79,6 +97,9 @@ COUNTER_KEYS = (
     "deduplicated",
     "dead_lettered",
     "quarantined",
+    "admitted",
+    "shed",
+    "deferred",
 )
 
 #: Worker attempts per shard before the parent gives up on the pool and
@@ -154,10 +175,15 @@ def _run_shard(
 
     ``task`` carries the attempt number so the fault model can decide,
     per ``(shard, attempt)``, whether this attempt crashes mid-run
-    (:func:`repro.faults.corruption.crash_point`).  A crashed attempt
-    raises before returning anything; since the collector is task-local
-    and the honeypot counters are preset absolutely at the start of
-    every task, the discarded partial work cannot leak into a retry.
+    (:func:`repro.faults.corruption.crash_point`) or stalls
+    (:func:`repro.faults.corruption.hang_point` — the worker sleeps the
+    stall out and then dies like a crash, since a pool worker cannot be
+    killed from outside; with a shard deadline set, the parent's
+    watchdog stops waiting at the hard deadline instead).  A crashed or
+    hung attempt raises before returning anything; since the collector
+    is task-local and the honeypot counters are preset absolutely at the
+    start of every task, the discarded partial work cannot leak into a
+    retry.
     """
     index, start_iso, end_iso, base_counters, attempt = task
     substrate = _worker_substrate()
@@ -165,6 +191,13 @@ def _run_shard(
         days_between(date.fromisoformat(start_iso), date.fromisoformat(end_iso))
     )
     crash_after = crash_point(
+        substrate.config.faults.integrity,
+        substrate.config.seed,
+        index,
+        attempt,
+        len(days),
+    )
+    hang = hang_point(
         substrate.config.faults.integrity,
         substrate.config.seed,
         index,
@@ -185,8 +218,16 @@ def _run_shard(
                     f"injected crash in shard {index} attempt {attempt} "
                     f"after {day_number} of {len(days)} days"
                 )
+            if hang is not None and day_number == hang[0]:
+                time.sleep(hang[1])
+                raise WorkerHang(
+                    f"injected hang in shard {index} attempt {attempt} "
+                    f"after {day_number} of {len(days)} days "
+                    f"({hang[1]:.2f}s stall)"
+                )
             with telemetry.span("sim.day"):
                 simulate_day(substrate, day, deliver)
+            collector.end_of_day()
     telemetry_export = None
     if registry is not None:
         telemetry.disable()
@@ -238,27 +279,64 @@ def _submit(pool: ProcessPoolExecutor, fn, arg) -> Future | None:
 def _execute_shard(
     substrate: SimulationSubstrate,
     task: tuple[int, str, str, dict[str, int]],
+    deadline: DeadlinePolicy | None = None,
 ) -> ShardOutput:
     """Serial in-process fallback: run one shard on the parent substrate.
 
-    Crash-free by construction (no fault hook on this path) and
+    Crash-free by construction (no crash hook on this path) and
     byte-identical to what a healthy worker would have returned — the
     same :func:`simulate_day` over the same days with the same preset
-    counters.  Telemetry records straight into the parent registry, so
+    counters.  The *hang* fault does fire here (a stall models lost
+    time, not a death, so it cannot corrupt in-process state): the
+    fallback sleeps the stall out — capped at the remaining deadline —
+    and with a deadline set the hard limit still binds, raising
+    :class:`ShardDeadlineExceeded` rather than blocking the run.  There
+    is no further ladder below the fallback, so that raise is terminal
+    by design: a hard deadline is a promise, not a hint.
+
+    Telemetry records straight into the parent registry, so
     ``telemetry=None`` in the output (nothing to merge twice).  The
     parent's honeypot counters are overwritten absolutely by the merge
     loop afterwards, so mutating them here is safe.
     """
     index, start_iso, end_iso, base_counters = task
+    days = list(
+        days_between(date.fromisoformat(start_iso), date.fromisoformat(end_iso))
+    )
+    hang = hang_point(
+        substrate.config.faults.integrity,
+        substrate.config.seed,
+        index,
+        MAX_SHARD_ATTEMPTS,
+        len(days),
+    )
+    deadline_at = (
+        time.monotonic() + deadline.hard_s if deadline is not None else None
+    )
     substrate.set_honeypot_counters(base_counters)
     collector = substrate.fresh_collector()
     channel = substrate.fresh_channel(collector)
     deliver = channel.deliver
-    for day in days_between(
-        date.fromisoformat(start_iso), date.fromisoformat(end_iso)
-    ):
+    for day_number, day in enumerate(days):
+        if hang is not None and day_number == hang[0]:
+            stall = hang[1]
+            if deadline_at is not None:
+                stall = min(stall, max(0.0, deadline_at - time.monotonic()))
+            time.sleep(stall)
+            telemetry.count("overload.watchdog.fallback_stalls")
+            logger.warning(
+                "shard %d stalled %.2fs during serial fallback",
+                index, stall,
+            )
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            telemetry.count("overload.watchdog.hard_breaches")
+            raise ShardDeadlineExceeded(
+                f"serial fallback for shard {index} overran its "
+                f"{deadline.hard_s:.2f}s hard deadline"
+            )
         with telemetry.span("sim.day"):
             simulate_day(substrate, day, deliver)
+        collector.end_of_day()
     handled = {
         honeypot.honeypot_id: delta
         for honeypot in substrate.honeynet.honeypots
@@ -278,33 +356,72 @@ def _execute_shard(
     )
 
 
+def _await_shard(
+    future: Future, deadline: DeadlinePolicy | None, shard: Shard
+) -> ShardOutput:
+    """Wait for one shard attempt under the watchdog's deadlines.
+
+    Without a deadline this is a plain blocking wait.  With one, the
+    soft deadline is a logged warning (a slow shard is not yet a dead
+    shard) and the hard deadline cancels the attempt: the future is
+    abandoned (a running pool worker cannot be killed, but its result
+    will never be read) and :class:`ShardDeadlineExceeded` hands the
+    shard to the retry ladder.
+    """
+    if deadline is None:
+        return future.result()
+    try:
+        return future.result(timeout=deadline.soft_s)
+    except FutureTimeout:
+        telemetry.count("overload.watchdog.soft_breaches")
+        logger.warning(
+            "shard %d passed its %.2fs soft deadline; still waiting",
+            shard.index, deadline.soft_s,
+        )
+    try:
+        return future.result(timeout=deadline.hard_s - deadline.soft_s)
+    except FutureTimeout:
+        telemetry.count("overload.watchdog.hard_breaches")
+        future.cancel()
+        telemetry.count("overload.watchdog.cancellations")
+        raise ShardDeadlineExceeded(
+            f"shard {shard.index} overran its {deadline.hard_s:.2f}s "
+            "hard deadline"
+        ) from None
+
+
 def _settle_shard(
     pool: ProcessPoolExecutor,
     substrate: SimulationSubstrate,
     shard: Shard,
     task: tuple[int, str, str, dict[str, int], int],
     future: Future | None,
+    deadline: DeadlinePolicy | None = None,
 ) -> ShardOutput:
-    """Resolve one shard's output, surviving crashed workers.
+    """Resolve one shard's output, surviving crashed and hung workers.
 
-    An attempt that dies with :class:`WorkerCrash` (injected) is
-    re-submitted — deterministic re-execution, byte-identical output —
-    up to :data:`MAX_SHARD_ATTEMPTS` total attempts; after that, or when
-    the pool itself breaks (a real worker death), the shard is re-run
-    serially in the parent.  Every path returns the same bytes, so
-    digest equality with the serial engine holds under every crash
-    schedule.
+    An attempt that dies with :class:`WorkerCrash` or
+    :class:`WorkerHang` (injected), or that the watchdog cancelled at
+    its hard deadline, is re-submitted — deterministic re-execution,
+    byte-identical output — up to :data:`MAX_SHARD_ATTEMPTS` total
+    attempts; after that, or when the pool itself breaks (a real worker
+    death), the shard is re-run serially in the parent.  Every path
+    returns the same bytes, so digest equality with the serial engine
+    holds under every crash/hang schedule.
     """
     attempt = 1
     while future is not None:
         try:
-            return future.result()
-        except WorkerCrash as error:
-            telemetry.count("parallel.worker_crashes")
+            return _await_shard(future, deadline, shard)
+        except (WorkerCrash, WorkerHang) as error:
+            if isinstance(error, WorkerHang):
+                telemetry.count("parallel.worker_hangs")
+            else:
+                telemetry.count("parallel.worker_crashes")
             logger.warning("shard %d worker died: %s", shard.index, error)
             if attempt >= MAX_SHARD_ATTEMPTS:
                 logger.warning(
-                    "shard %d crashed %d times; giving up on the pool",
+                    "shard %d failed %d times; giving up on the pool",
                     shard.index, attempt,
                 )
                 break
@@ -313,6 +430,20 @@ def _settle_shard(
                 "re-executing shard %d (attempt %d of %d)",
                 shard.index, attempt + 1, MAX_SHARD_ATTEMPTS,
             )
+            future = _submit(pool, _run_shard, task[:4] + (attempt,))
+            attempt += 1
+        except ShardDeadlineExceeded as error:
+            logger.warning(
+                "shard %d cancelled by the watchdog: %s", shard.index, error
+            )
+            if attempt >= MAX_SHARD_ATTEMPTS:
+                logger.warning(
+                    "shard %d breached its deadline %d times; giving up "
+                    "on the pool",
+                    shard.index, attempt,
+                )
+                break
+            telemetry.count("parallel.shard_retries")
             future = _submit(pool, _run_shard, task[:4] + (attempt,))
             attempt += 1
         except BrokenProcessPool as error:
@@ -326,7 +457,7 @@ def _settle_shard(
         "shard %d: falling back to serial in-process execution", shard.index
     )
     with telemetry.span("parallel.serial_fallback"):
-        return _execute_shard(substrate, task[:4])
+        return _execute_shard(substrate, task[:4], deadline)
 
 
 def _settle_counts(
@@ -393,6 +524,7 @@ def run_simulation_parallel(
     started = time.monotonic()
     shards = plan_shards(first_day, last_day, workers)
     channel = substrate.fresh_channel(collector)
+    deadline = DeadlinePolicy.from_deadline(config.shard_deadline_s)
     if not shards:
         return _finish_result(substrate, collector, channel, started)
 
@@ -422,11 +554,7 @@ def run_simulation_parallel(
         # Phase 1: count arrivals for every shard but the last (the
         # last shard's counts are never needed as an offset).
         count_futures: list[Future | None] = [
-            _submit(
-                pool,
-                _count_shard,
-                (shard.start.isoformat(), shard.end.isoformat()),
-            )
+            _submit(pool, _count_shard, shard.iso_span)
             for shard in shards[:-1]
         ]
         # Phase 2: simulate each shard with prefix-summed counters.
@@ -434,13 +562,7 @@ def run_simulation_parallel(
         tasks: list[tuple[int, str, str, dict[str, int], int]] = []
         offsets = dict(base_counters)
         for shard in shards:
-            task = (
-                shard.index,
-                shard.start.isoformat(),
-                shard.end.isoformat(),
-                dict(offsets),
-                0,
-            )
+            task = (shard.index, *shard.iso_span, dict(offsets), 0)
             tasks.append(task)
             run_futures.append(_submit(pool, _run_shard, task))
             if shard.index < len(count_futures):
@@ -454,7 +576,7 @@ def run_simulation_parallel(
         # ingestion order, so the merged collector is byte-identical.
         for shard, future in zip(shards, run_futures):
             output: ShardOutput = _settle_shard(
-                pool, substrate, shard, tasks[shard.index], future
+                pool, substrate, shard, tasks[shard.index], future, deadline
             )
             collector.absorb(
                 output.sessions, output.dead_letters, output.counters

@@ -39,6 +39,11 @@ class Shard:
         """The first day after this shard (checkpoint cursor)."""
         return self.end + timedelta(days=1)
 
+    @property
+    def iso_span(self) -> tuple[str, str]:
+        """``(start, end)`` as ISO strings — the worker task payload."""
+        return (self.start.isoformat(), self.end.isoformat())
+
 
 def plan_shards(
     start: date,
