@@ -12,9 +12,13 @@ log corruption + worker crashes):
 3. a corrupted JSONL export, recovered leniently — `repro verify` must
    PASS (every loss quarantined with provenance) and the recovery
    accounting must balance;
-4. a deliberately mangled copy without recovery — `repro verify` must
+4. an indexed artifact tree under every index-corruption mode — the
+   resilient store must answer identically to a clean index via scan
+   fallback, `repro verify` must flag the damage as repairable
+   (exit 2) and `--rebuild-index` must restore a clean audit;
+5. a deliberately mangled copy without recovery — `repro verify` must
    FAIL (unexplained damage is never waved through);
-5. a flood-recovery leg: the same stress window under the `storm`
+6. a flood-recovery leg: the same stress window under the `storm`
    flood preset — serial vs parallel digests and the shed ledger must
    be identical, the extended conservation law must balance with
    `shed > 0`, and a watchdog-armed run (generous shard deadline) must
@@ -166,6 +170,77 @@ def check_flood_overload(config: SimulationConfig) -> None:
         fail("healthy flood run breached its generous hard deadline")
 
 
+def check_index_resilience(serial, work: Path) -> None:
+    """Store leg: under every index-corruption mode the resilient store
+    answers identically to a clean index, verify flags repairable
+    damage as exit 2, and --rebuild-index restores a clean audit."""
+    from repro.cli import main as cli_main
+    from repro.faults.corruption import INDEX_CORRUPTION_MODES, corrupt_index
+    from repro.store import (
+        ResilientArtifactStore,
+        export_indexed_tree,
+        index_path_for,
+    )
+
+    sessions = serial.database.sessions[:500]
+    clean_dir = work / "store-clean"
+    export_indexed_tree(sessions, clean_dir)
+    baseline = ResilientArtifactStore(clean_dir)
+    expected_ids = baseline.session_ids()
+    expected_by_day = baseline.count_by("day")
+    expected_digest = baseline.database().digest()
+    baseline_source = baseline.source
+    baseline.close()
+    if baseline_source != "index":
+        fail("clean index tree did not serve from the index")
+
+    for mode in INDEX_CORRUPTION_MODES:
+        tree = work / f"store-{mode}"
+        export_indexed_tree(sessions, tree)
+        corrupt_index(index_path_for(tree), mode, random.Random(41))
+        with telemetry.collecting() as registry:
+            store = ResilientArtifactStore(tree)
+            ids = store.session_ids()
+            by_day = store.count_by("day")
+            digest = store.database().digest()
+            source = store.source
+            store.close()
+        fallbacks = registry.counters.get("store.fallback", 0)
+        print(
+            f"index {mode}: source={source} "
+            f"({fallbacks} fallbacks), {len(ids)} sessions"
+        )
+        if digest != expected_digest:
+            fail(f"scan-path dataset diverged under index corruption mode {mode}")
+        # Structural damage (truncate, drop-rows) is always caught at
+        # open, so these answers must come via the scan and be exact.
+        # A bitflip can land anywhere: a free page (benign), a broken
+        # page (caught at open), or live cell content — the last is
+        # only detectable by the verify audit's row cross-check, which
+        # is exactly what runs next.
+        if mode != "bitflip" and (ids, by_day) != (expected_ids, expected_by_day):
+            fail(f"store answers diverged under index corruption mode {mode}")
+        exit_code = cli_main(["verify", str(tree)])
+        if mode == "bitflip":
+            if exit_code not in (0, 2):
+                fail(f"verify exit {exit_code} under {mode} (wanted 0 or 2)")
+        elif exit_code != 2:
+            fail(f"verify exit {exit_code} under {mode} (wanted 2: index-only)")
+        if exit_code == 2:
+            if cli_main(["verify", str(tree), "--rebuild-index"]) != 0:
+                fail(f"--rebuild-index did not repair the {mode}-damaged tree")
+            if cli_main(["verify", str(tree)]) != 0:
+                fail(f"rebuilt {mode} tree still fails verification")
+        healed = ResilientArtifactStore(tree)
+        healed_answers = (healed.session_ids(), healed.count_by("day"))
+        healed_source = healed.source
+        healed.close()
+        if healed_answers != (expected_ids, expected_by_day):
+            fail(f"post-repair answers diverged under {mode}")
+        if healed_source != "index":
+            fail(f"post-repair tree still not serving from the index ({mode})")
+
+
 def check_mangled_tree_fails(serial, work: Path) -> None:
     mangled_dir = work / "mangled"
     mangled_dir.mkdir()
@@ -204,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
         check_parallel_equivalence(config, serial)
         check_checkpoint_recovery(config, serial, work)
         check_export_recovery(config, serial, work)
+        check_index_resilience(serial, work)
         check_mangled_tree_fails(serial, work)
         check_flood_overload(config)
     finally:

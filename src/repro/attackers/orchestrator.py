@@ -407,6 +407,37 @@ def _resume_state(
     return first_day
 
 
+def _export_store(result: SimulationResult, store_dir: Path | str) -> Path:
+    """Write the run's indexed artifact tree (shards + ``index.sqlite``).
+
+    Runs strictly *after* the result is finished, so the tree is a pure
+    projection of it: dataset digests, conservation accounting and
+    checkpoint bytes are identical with or without a ``store_dir``.  The
+    fault profile's ``index_corruption_probability`` may damage the
+    built index (seeded off its own ``RngTree`` branch) — consumers then
+    degrade to the shard-scan path; the shards themselves are written
+    clean.
+    """
+    from repro.faults.corruption import build_index_corruptor
+    from repro.store import export_indexed_tree
+    from repro.util.rng import RngTree
+
+    config = result.config
+    shard_name = "sessions.jsonl"
+    corruptor = build_index_corruptor(
+        config.faults.integrity,
+        RngTree(config.seed).child("faults", "integrity", "index", shard_name),
+    )
+    with telemetry.span("store.export"):
+        return export_indexed_tree(
+            result.database.sessions,
+            store_dir,
+            shard_name=shard_name,
+            config=config,
+            index_corruptor=corruptor,
+        )
+
+
 def run_simulation(
     config: SimulationConfig,
     extra_bots_factory=None,
@@ -416,6 +447,7 @@ def run_simulation(
     resume: bool = False,
     stop_after: date | None = None,
     workers: int | None = None,
+    store_dir: Path | str | None = None,
 ) -> SimulationResult:
     """Generate the full synthetic dataset for ``config``.
 
@@ -443,6 +475,12 @@ def run_simulation(
     a digest-identical result.  ``extra_bots_factory`` must then be
     picklable (a module-level function), since workers rebuild the
     fleet themselves.
+
+    ``store_dir``, when set, additionally writes the finished dataset as
+    an indexed artifact tree (JSONL shards + ``index.sqlite``,
+    :mod:`repro.store`) under that directory — a post-merge projection
+    of the result, identical under both engines and byte-neutral to the
+    result itself.
     """
     if workers is None:
         workers = config.workers
@@ -451,7 +489,7 @@ def run_simulation(
     if workers > 1:
         from repro.parallel.engine import run_simulation_parallel
 
-        return run_simulation_parallel(
+        result = run_simulation_parallel(
             config,
             extra_bots_factory,
             workers=workers,
@@ -460,6 +498,9 @@ def run_simulation(
             resume=resume,
             stop_after=stop_after,
         )
+        if store_dir is not None:
+            _export_store(result, store_dir)
+        return result
 
     substrate = build_substrate(config, extra_bots_factory)
     collector = substrate.fresh_collector()
@@ -524,4 +565,7 @@ def run_simulation(
                 logger.info("controlled stop after %s", day)
                 break
 
-    return _finish_result(substrate, collector, channel, started)
+    result = _finish_result(substrate, collector, channel, started)
+    if store_dir is not None:
+        _export_store(result, store_dir)
+    return result

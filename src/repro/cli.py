@@ -14,8 +14,12 @@ Subcommands:
 * ``telemetry``   — run the pipeline with telemetry enabled and print
   the run report (see docs/observability.md).
 * ``verify``      — audit a dataset/checkpoint tree (manifests,
-  checksums, quarantine) and exit non-zero on unexplained
-  discrepancies (see docs/fault-model.md).
+  checksums, quarantine, index cross-check) and exit non-zero on
+  unexplained discrepancies; ``--rebuild-index`` repairs a damaged
+  ``index.sqlite`` from verified shards (see docs/fault-model.md).
+* ``query``       — query a persisted artifact tree through the
+  indexed store, with automatic shard-scan fallback when the index
+  is damaged (see docs/architecture.md).
 
 Every subcommand accepts ``--fault-profile {none,paper,stress}``; the
 default ``paper`` models exactly the deployment the paper describes.
@@ -316,6 +320,46 @@ def cmd_faults(args: argparse.Namespace) -> int:
             "repro verify)" if corruptor is not None else "clean"
         )
         print(f"exported {count} records to {args.export} (+manifest), {flavor}")
+        if args.index:
+            from repro.faults.checkpoint import config_fingerprint
+            from repro.faults.corruption import (
+                build_index_corruptor,
+                corrupt_index,
+            )
+            from repro.store.builder import build_index, index_path_for
+
+            store = build_index(
+                result.database.sessions,
+                index_path_for(args.export.parent),
+                source=args.export.name,
+                config_fingerprint=config_fingerprint(config),
+            )
+            rows = store.count()
+            store.close()
+            index_path = index_path_for(args.export.parent)
+            applied = None
+            if args.corrupt_index is not None:
+                # Forced damage for smoke tests: always applied, with
+                # seeded byte choices so reruns damage identically.
+                rng = RngTree(config.seed).child(
+                    "faults", "integrity", "index", args.export.name, "forced"
+                ).rand()
+                corrupt_index(index_path, args.corrupt_index, rng)
+                applied = args.corrupt_index
+            else:
+                index_corruptor = build_index_corruptor(
+                    profile.integrity,
+                    RngTree(config.seed).child(
+                        "faults", "integrity", "index", args.export.name
+                    ),
+                )
+                if index_corruptor is not None:
+                    applied = index_corruptor.maybe_corrupt(index_path, key=0)
+            flavor = (
+                f"then damaged ({applied}; repair via repro verify "
+                "--rebuild-index)" if applied else "clean"
+            )
+            print(f"indexed {rows} records into {index_path}, {flavor}")
 
     print()
     print(f"dataset digest: {result.database.digest()}")
@@ -323,18 +367,100 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    """Audit an artifact tree; exit 1 on unexplained discrepancies."""
+    """Audit an artifact tree.
+
+    Exit codes: ``0`` — clean (every discrepancy recovered or
+    explained); ``1`` — unexplained *data* damage; ``2`` — the path does
+    not exist, or only derived index artifacts failed (ground truth
+    intact: consumers run via scan fallback, and ``--rebuild-index``
+    repairs it — which re-audits and returns 0 on success).
+    """
     from repro.integrity.verify import audit_tree
 
     if not args.path.exists():
         print(f"no such path: {args.path}", file=sys.stderr)
         return 2
     audit = audit_tree(args.path, quarantine=args.quarantine)
+    if args.rebuild_index and audit.index_damaged and args.path.is_dir():
+        from repro.store import rebuild_index
+
+        try:
+            index_path, rows = rebuild_index(args.path)
+        except FileNotFoundError as error:
+            print(f"cannot rebuild index: {error}", file=sys.stderr)
+        else:
+            print(f"rebuilt {index_path} from shards ({rows} rows); re-auditing")
+            audit = audit_tree(args.path, quarantine=args.quarantine)
     print(audit.render())
     if args.json is not None:
         args.json.write_text(audit.to_json() + "\n")
         print(f"wrote {args.json}")
-    return 0 if audit.ok else 1
+    if audit.ok:
+        return 0
+    if audit.data_ok and audit.index_damaged:
+        return 2
+    return 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Query a persisted artifact tree through the indexed store.
+
+    The smoke surface for :mod:`repro.store`: equality filters over the
+    indexed columns, answered from ``index.sqlite`` when it is intact
+    and from the shard-scan fallback otherwise — the answer is the same
+    either way; only the reported ``source`` differs.
+    """
+    from repro.store import ResilientArtifactStore
+    from repro.util.text import format_table
+
+    if not args.path.exists():
+        print(f"no such path: {args.path}", file=sys.stderr)
+        return 2
+    filters = {
+        name: value
+        for name, value in (
+            ("day", args.day),
+            ("sensor_id", args.sensor),
+            ("client_ip", args.client_ip),
+            ("protocol", args.protocol),
+            ("rule_label", args.rule_label),
+        )
+        if value is not None
+    }
+    store = ResilientArtifactStore(args.path)
+    try:
+        if args.by is not None:
+            counts = store.count_by(args.by, **filters)
+            print(
+                format_table(
+                    [args.by, "sessions"],
+                    [[value, count] for value, count in counts.items()],
+                )
+            )
+            total = sum(counts.values())
+        else:
+            total = store.count(**filters)
+        described = (
+            ", ".join(f"{k}={v}" for k, v in sorted(filters.items()))
+            or "no filters"
+        )
+        print(f"{total} sessions match ({described})")
+        if args.ids:
+            for session_id in store.session_ids(**filters):
+                print(session_id)
+        meta = store.meta()
+        print(
+            f"source: {store.source} (index schema v{meta.schema_version}, "
+            f"{meta.record_count} records indexed)"
+        )
+        if store.source == "scan":
+            print(
+                f"note: index unusable ({store.fallback_reason}); answered "
+                "from shard scan — repair with repro verify --rebuild-index"
+            )
+    finally:
+        store.close()
+    return 0
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
@@ -679,6 +805,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the resulting dataset as JSONL (+ sidecar manifest); "
         "corruption faults from the active profile apply to the export",
     )
+    faults.add_argument(
+        "--index", action="store_true",
+        help="with --export: also build index.sqlite next to the export "
+        "(the active profile's index-corruption faults apply to it)",
+    )
+    from repro.faults.corruption import INDEX_CORRUPTION_MODES
+
+    faults.add_argument(
+        "--corrupt-index", choices=INDEX_CORRUPTION_MODES, default=None,
+        metavar="MODE",
+        help="with --index: unconditionally damage the built index with "
+        f"this mode ({', '.join(INDEX_CORRUPTION_MODES)}) — for smoke "
+        "tests of the verify/rebuild/fallback paths",
+    )
     faults.set_defaults(func=cmd_faults)
 
     verify = commands.add_parser(
@@ -699,7 +839,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the audit as JSON to this path",
     )
+    verify.add_argument(
+        "--rebuild-index", action="store_true",
+        help="if the audit finds damaged index artifacts, rebuild "
+        "index.sqlite from the verified shards and re-audit",
+    )
     verify.set_defaults(func=cmd_verify)
+
+    query = commands.add_parser(
+        "query",
+        help="query a persisted artifact tree via the indexed store "
+        "(scan fallback when the index is damaged)",
+    )
+    query.add_argument(
+        "path", type=Path,
+        help="artifact tree directory (a --store/--export destination)",
+    )
+    query.add_argument("--day", default=None, help="UTC day, YYYY-MM-DD")
+    query.add_argument("--sensor", default=None, help="honeypot sensor id")
+    query.add_argument("--client-ip", default=None)
+    query.add_argument("--protocol", default=None, choices=("ssh", "telnet"))
+    query.add_argument(
+        "--rule-label", default=None, help="Table-1 session category"
+    )
+    query.add_argument(
+        "--by", default=None,
+        choices=("day", "sensor_id", "client_ip", "protocol", "rule_label"),
+        help="group matching sessions and print per-value counts",
+    )
+    query.add_argument(
+        "--ids", action="store_true", help="also print matching session ids"
+    )
+    query.set_defaults(func=cmd_query)
     return parser
 
 

@@ -18,7 +18,8 @@ the simulation:
   identical dataset.
 * :mod:`repro.faults.corruption` — seeded *storage* faults: bit-flips
   and truncation of checkpoint files, mangled/duplicated/reordered
-  session-log lines, and injected worker crashes for the parallel
+  session-log lines, damaged or desynced ``index.sqlite`` artifacts
+  (:mod:`repro.store`), and injected worker crashes for the parallel
   engine.
 * :mod:`repro.faults.flood` — seeded *overload* faults: scan-campaign
   session bursts that push arrivals past the collector's admission
@@ -43,9 +44,12 @@ from repro.faults.checkpoint import (
     save_checkpoint,
 )
 from repro.faults.corruption import (
+    INDEX_CORRUPTION_MODES,
+    IndexCorruptor,
     WorkerCrash,
     WorkerHang,
     build_checkpoint_corruptor,
+    build_index_corruptor,
     build_log_corruptor,
     crash_point,
     hang_point,
@@ -87,6 +91,8 @@ __all__ = [
     "FaultProfile",
     "FloodFaults",
     "FloodGenerator",
+    "INDEX_CORRUPTION_MODES",
+    "IndexCorruptor",
     "IntegrityFaults",
     "OutageWindow",
     "ResilientChannel",
@@ -99,6 +105,7 @@ __all__ = [
     "build_channel",
     "build_checkpoint_corruptor",
     "build_coverage_report",
+    "build_index_corruptor",
     "build_flood_generator",
     "build_log_corruptor",
     "compile_fault_plan",

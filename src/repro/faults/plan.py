@@ -235,13 +235,21 @@ class IntegrityFaults:
       (:attr:`repro.config.SimulationConfig.shard_deadline_s`), the
       hung-worker watchdog cancels the attempt at the hard deadline
       instead of waiting the stall out.
+    * ``index_corruption_probability`` — each built ``index.sqlite``
+      artifact (:mod:`repro.store`) is damaged with this probability:
+      a bit-flipped page, a truncated file, or rows silently dropped so
+      the index desyncs from its shards.  The index is derived data, so
+      consumers must degrade to the shard-scan path and ``repro verify
+      --rebuild-index`` must repair it — never a crash, never a wrong
+      answer.
 
     All decisions are drawn from seed-derived streams keyed by artifact
     and attempt, never from the simulation's record streams, so enabling
     corruption cannot change what a fault-free run would have produced.
-    The hang fields are declared ``repr=False``: a hang only stalls the
-    execution engine — the recovered output is byte-identical — so,
-    like the ``workers`` knob, it stays out of ``repr(profile)`` and
+    The hang and index fields are declared ``repr=False``: a hang only
+    stalls the execution engine and index damage only degrades queries
+    to the scan path — the recovered output is byte-identical — so,
+    like the ``workers`` knob, they stay out of ``repr(profile)`` and
     therefore out of checkpoint fingerprints.
     """
 
@@ -252,6 +260,7 @@ class IntegrityFaults:
     worker_crash_probability: float = 0.0
     worker_hang_probability: float = field(default=0.0, repr=False)
     worker_hang_seconds: float = field(default=0.05, repr=False)
+    index_corruption_probability: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
         for name in (
@@ -263,9 +272,14 @@ class IntegrityFaults:
             value = getattr(self, name)
             if not 0.0 <= value < 1.0:
                 raise ValueError(f"{name} must be in [0, 1), got {value}")
-        # A certain crash (or hang) is a legitimate schedule — it forces
-        # the serial fallback / watchdog ladder — so these admit 1.0.
-        for name in ("worker_crash_probability", "worker_hang_probability"):
+        # A certain crash, hang or index corruption is a legitimate
+        # schedule — it forces the serial fallback / watchdog ladder /
+        # scan fallback every time — so these admit 1.0.
+        for name in (
+            "worker_crash_probability",
+            "worker_hang_probability",
+            "index_corruption_probability",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(
@@ -286,6 +300,7 @@ class IntegrityFaults:
             and self.line_reorder_probability == 0.0
             and self.worker_crash_probability == 0.0
             and self.worker_hang_probability == 0.0
+            and self.index_corruption_probability == 0.0
         )
 
     @property
@@ -368,10 +383,12 @@ class FaultProfile:
         On top of the loss model, the integrity knobs corrupt what gets
         *persisted*: one saved checkpoint in four is bit-flipped or
         truncated, a few percent of exported log lines are mangled,
-        duplicated or reordered, and parallel shard workers crash or
+        duplicated or reordered, one built artifact index in four is
+        damaged or desynced, and parallel shard workers crash or
         briefly hang mid-run — exercising generation fallback,
-        quarantine-and-recover, the crash-tolerant engine and the
-        hung-worker watchdog ladder on every stress-profile test.
+        quarantine-and-recover, the crash-tolerant engine, the
+        hung-worker watchdog ladder and the index scan-fallback on
+        every stress-profile test.
         """
         return cls(
             name="stress",
@@ -395,6 +412,7 @@ class FaultProfile:
                 worker_crash_probability=0.2,
                 worker_hang_probability=0.15,
                 worker_hang_seconds=0.05,
+                index_corruption_probability=0.25,
             ),
         )
 

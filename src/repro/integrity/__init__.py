@@ -44,9 +44,15 @@ from repro.integrity.quarantine import (
     QuarantineEntry,
     QuarantineStore,
 )
-from repro.integrity.verify import Finding, IntegrityAudit, audit_tree
+from repro.integrity.verify import (
+    AUDIT_SCHEMA_VERSION,
+    Finding,
+    IntegrityAudit,
+    audit_tree,
+)
 
 __all__ = [
+    "AUDIT_SCHEMA_VERSION",
     "Finding",
     "IntegrityAudit",
     "MANIFEST_SUFFIX",

@@ -34,13 +34,19 @@ from repro.integrity.quarantine import (
 #: Trailing generation suffix of rotated checkpoint files (``.1``, ``.2``).
 _GENERATION_SUFFIX = re.compile(r"\.(\d+)$")
 
+#: Version of the audit report schema (``repro verify --json``).  Bumped
+#: whenever the JSON shape changes incompatibly, so downstream tooling
+#: can evolve against a stable field instead of sniffing keys.
+#: Version 2 added ``schema_version`` itself and index findings.
+AUDIT_SCHEMA_VERSION = 2
+
 
 @dataclass(frozen=True)
 class Finding:
     """One audited artifact and its verdict."""
 
     path: str  #: relative to the audit root
-    kind: str  #: ``dataset`` | ``checkpoint`` | ``quarantine`` | ``temp``
+    kind: str  #: ``dataset`` | ``checkpoint`` | ``quarantine`` | ``index`` | ``temp``
     #: ``ok`` — pristine; ``recovered`` — damaged but losslessly
     #: repairable; ``quarantined`` — lossy but fully accounted for;
     #: ``failed`` — unexplained discrepancy.
@@ -69,6 +75,25 @@ class IntegrityAudit:
     @property
     def ok(self) -> bool:
         return all(finding.explained for finding in self.findings)
+
+    @property
+    def index_damaged(self) -> bool:
+        """True when any index artifact failed its audit."""
+        return any(
+            f.kind == "index" and not f.explained for f in self.findings
+        )
+
+    @property
+    def data_ok(self) -> bool:
+        """True when everything *except* index artifacts is explained.
+
+        An audit with ``data_ok and index_damaged`` found only derived
+        damage: the ground truth is intact, consumers degrade to the
+        scan path, and ``--rebuild-index`` restores a clean audit.
+        """
+        return all(
+            f.explained for f in self.findings if f.kind != "index"
+        )
 
     def unexplained(self) -> list[Finding]:
         return [f for f in self.findings if not f.explained]
@@ -102,8 +127,10 @@ class IntegrityAudit:
     def to_json(self) -> str:
         return json.dumps(
             {
+                "schema_version": AUDIT_SCHEMA_VERSION,
                 "root": self.root,
                 "ok": self.ok,
+                "index_damaged": self.index_damaged,
                 "records_verified": self.records_verified,
                 "records_lost": self.records_lost,
                 "records_shed": self.records_shed,
@@ -193,6 +220,9 @@ def audit_tree(
             continue
         if path.suffix == ".jsonl":
             _audit_jsonl(path, relative, store, audit)
+            continue
+        if path.suffix == ".sqlite":
+            _audit_index(path, relative, audit)
 
     for checkpoint_base, members in sorted(checkpoint_groups.items()):
         _audit_checkpoint_group(checkpoint_base, members, base, audit)
@@ -322,6 +352,149 @@ def _audit_jsonl(
                 f"{report.missing} missing)",
             )
         )
+
+
+def _audit_index(path: Path, relative: str, audit: IntegrityAudit) -> None:
+    """Cross-check an ``index.sqlite`` against its shard ground truth.
+
+    The index is derived data, so a failed index finding never means
+    data loss — it means the accelerator is unusable or lying.  Verdicts:
+
+    * ``ok`` — every index row matches a recovered shard record (id and
+      content hash), nothing is missing, and the stored meta agrees;
+    * ``quarantined`` — the index holds rows for records its shards
+      demonstrably *lost* (the index, like the manifest, records what
+      the writer meant — shard damage is the explained discrepancy);
+    * ``failed`` — the index is unopenable, desynced (rows missing or
+      mismatched), carries foreign rows, or self-inconsistent meta.
+      Repairable with ``repro verify --rebuild-index``; until then,
+      consumers answer via the shard-scan fallback.
+    """
+    # Lazy: repro.store composes analysis/honeynet, which sit above us.
+    from repro.honeynet.io import recover_jsonl
+    from repro.store.base import index_rows
+    from repro.store.builder import shard_paths
+    from repro.store.sqlite import SqliteStore, StoreError
+
+    repair_hint = (
+        "consumers fall back to shard scan; repair with --rebuild-index"
+    )
+    try:
+        store = SqliteStore.open(path)
+    except StoreError as error:
+        audit.findings.append(
+            Finding(
+                relative,
+                "index",
+                "failed",
+                f"unusable index ({error.reason}) — {repair_hint}",
+            )
+        )
+        return
+    try:
+        actual = {row.session_id: row for row in store.rows()}
+        meta = store.meta()
+    except StoreError as error:
+        audit.findings.append(
+            Finding(
+                relative,
+                "index",
+                "failed",
+                f"index unreadable mid-audit ({error.reason}) — {repair_hint}",
+            )
+        )
+        return
+    finally:
+        store.close()
+
+    expected: dict[str, object] = {}
+    lost = 0
+    seen: set[str] = set()
+    records = []
+    for shard in shard_paths(path.parent):
+        recovered = recover_jsonl(shard)  # scan-only: no store writes
+        lost += recovered.report.lost
+        fresh = [r for r in recovered.records if r.session_id not in seen]
+        seen.update(r.session_id for r in fresh)
+        records.extend(fresh)
+        for row in index_rows(fresh, source=shard.name):
+            expected[row.session_id] = row
+
+    missing = len(expected.keys() - actual.keys())
+    extra = len(actual.keys() - expected.keys())
+    mismatched = sum(
+        1
+        for session_id in expected.keys() & actual.keys()
+        if expected[session_id].session_hash != actual[session_id].session_hash
+    )
+    if missing or mismatched:
+        audit.findings.append(
+            Finding(
+                relative,
+                "index",
+                "failed",
+                f"index desynced from shards ({missing} rows missing, "
+                f"{mismatched} content-mismatched of {len(expected)} "
+                f"expected) — {repair_hint}",
+            )
+        )
+        return
+    if extra:
+        if extra <= lost:
+            audit.findings.append(
+                Finding(
+                    relative,
+                    "index",
+                    "quarantined",
+                    f"{extra} index rows outlive records the shards lost "
+                    f"({lost} lost) — the index records what the writer "
+                    "meant; shard damage is accounted separately",
+                )
+            )
+            return
+        audit.findings.append(
+            Finding(
+                relative,
+                "index",
+                "failed",
+                f"{extra} foreign index rows with no shard record and "
+                f"only {lost} shard losses to explain them — {repair_hint}",
+            )
+        )
+        return
+    if meta.record_count != len(actual):
+        audit.findings.append(
+            Finding(
+                relative,
+                "index",
+                "failed",
+                f"store_meta promises {meta.record_count} rows but the "
+                f"index holds {len(actual)} — {repair_hint}",
+            )
+        )
+        return
+    if lost == 0 and meta.content_digest:
+        from repro.store.base import content_digest
+
+        if meta.content_digest != content_digest(records):
+            audit.findings.append(
+                Finding(
+                    relative,
+                    "index",
+                    "failed",
+                    "index content digest does not match the shard "
+                    f"ground truth (stale or foreign index) — {repair_hint}",
+                )
+            )
+            return
+    audit.findings.append(
+        Finding(
+            relative,
+            "index",
+            "ok",
+            f"{len(actual)} rows cross-checked against shard ground truth",
+        )
+    )
 
 
 def _conservation_imbalance(counters: dict[str, int]) -> str | None:

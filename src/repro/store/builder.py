@@ -1,0 +1,182 @@
+"""Building, exporting and rebuilding indexes over artifact trees.
+
+An *indexed artifact tree* is a directory holding one or more JSONL
+session shards (each with its sidecar manifest) plus one
+``index.sqlite`` summarizing every record in them.  The shards are the
+ground truth; the index is derived and disposable —
+:func:`rebuild_index` reconstructs it from whatever the shards can
+still prove, which is the ``repro verify --rebuild-index`` repair path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro import telemetry
+from repro.honeypot.session import SessionRecord
+from repro.integrity.quarantine import QUARANTINE_DIR_NAME
+from repro.store.base import (
+    INDEX_FILE_NAME,
+    STORE_SCHEMA_VERSION,
+    StoreMeta,
+    content_digest,
+    index_rows,
+)
+from repro.store.sqlite import SqliteStore
+
+
+def index_path_for(root: Path | str) -> Path:
+    """The conventional index location for an artifact tree."""
+    return Path(root) / INDEX_FILE_NAME
+
+
+def shard_paths(root: Path | str) -> list[Path]:
+    """The JSONL shards an index at ``root`` covers, in name order.
+
+    Only shards directly under ``root`` count; the quarantine store's
+    own JSONL index is provenance, not session data.
+    """
+    root = Path(root)
+    return sorted(
+        path
+        for path in root.glob("*.jsonl")
+        if QUARANTINE_DIR_NAME not in path.parts
+    )
+
+
+def load_tree_records(
+    root: Path | str,
+) -> tuple[list[SessionRecord], int]:
+    """Recover every record the tree's shards can still prove.
+
+    Lenient, scan-only (no quarantine writes): damaged lines are
+    skipped, duplicates deduplicated, order repaired — exactly the
+    ground-truth view ``repro verify`` audits against.  Returns the
+    records (shard name order, deduplicated across shards by session
+    id) and the number of records the shards lost.
+    """
+    from repro.honeynet.io import recover_jsonl
+
+    records: list[SessionRecord] = []
+    seen: set[str] = set()
+    lost = 0
+    for shard in shard_paths(root):
+        recovered = recover_jsonl(shard)
+        lost += recovered.report.lost
+        for record in recovered.records:
+            if record.session_id in seen:
+                continue
+            seen.add(record.session_id)
+            records.append(record)
+    return records, lost
+
+
+def build_index(
+    sessions: Sequence[SessionRecord],
+    path: Path | str,
+    *,
+    source: str,
+    config_fingerprint: str = "",
+) -> SqliteStore:
+    """Build the index for one shard's clean record sequence."""
+    rows = index_rows(sessions, source=source)
+    meta = StoreMeta(
+        schema_version=STORE_SCHEMA_VERSION,
+        config_fingerprint=config_fingerprint,
+        content_digest=content_digest(sessions),
+        record_count=len(rows),
+    )
+    return SqliteStore.build(path, rows, meta)
+
+
+def export_indexed_tree(
+    sessions: Sequence[SessionRecord],
+    root: Path | str,
+    *,
+    shard_name: str = "sessions.jsonl",
+    config=None,
+    corruptor=None,
+    index_corruptor=None,
+) -> Path:
+    """Write a complete indexed artifact tree for ``sessions``.
+
+    Writes the JSONL shard (with manifest) and builds ``index.sqlite``
+    from the same *clean* record sequence — like the manifest, the index
+    records what the writer meant, before any injected storage-path
+    corruption (``corruptor`` damages the shard, ``index_corruptor``
+    damages the index; both model faults *after* a faithful write).
+    Returns the index path.
+    """
+    from repro.honeynet.io import write_jsonl
+
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    write_jsonl(sessions, root / shard_name, corruptor=corruptor)
+    fingerprint = ""
+    if config is not None:
+        from repro.faults.checkpoint import config_fingerprint
+
+        fingerprint = config_fingerprint(config)
+    index_path = index_path_for(root)
+    store = build_index(
+        sessions, index_path, source=shard_name, config_fingerprint=fingerprint
+    )
+    store.close()
+    if index_corruptor is not None:
+        index_corruptor.maybe_corrupt(index_path, key=0)
+    return index_path
+
+
+def rebuild_index(root: Path | str) -> tuple[Path, int]:
+    """Reconstruct a tree's index from its verified shards.
+
+    The repair path behind ``repro verify --rebuild-index``: recover
+    every record the shards can prove, rebuild the rows, and atomically
+    replace whatever index file was there (corrupt, stale or absent).
+    The rebuilt meta carries no config fingerprint — the shards alone
+    cannot prove one — but its content digest matches the recovered
+    records exactly, so the next audit passes iff the rebuild is
+    faithful.  Returns the index path and the indexed record count.
+    """
+    root = Path(root)
+    shards = shard_paths(root)
+    if not shards:
+        raise FileNotFoundError(f"no JSONL shards under {root} to rebuild from")
+    from repro.honeynet.io import recover_jsonl
+
+    index_path = index_path_for(root)
+    # Per-shard rows keep (source, seq) pointing at real lines; records
+    # duplicated across shards keep their first shard's row.
+    all_rows = []
+    all_records: list[SessionRecord] = []
+    seen: set[str] = set()
+    with telemetry.span("store.rebuild"):
+        for shard in shards:
+            recovered = recover_jsonl(shard)
+            fresh = [
+                record
+                for record in recovered.records
+                if record.session_id not in seen
+            ]
+            seen.update(record.session_id for record in fresh)
+            all_rows.extend(index_rows(fresh, source=shard.name))
+            all_records.extend(fresh)
+        meta = StoreMeta(
+            schema_version=STORE_SCHEMA_VERSION,
+            config_fingerprint="",
+            content_digest=content_digest(all_records),
+            record_count=len(all_rows),
+        )
+        # A corrupt index may not be openable at all; remove leftovers
+        # (including WAL sidecars) so the atomic build starts clean.
+        for leftover in (
+            index_path.with_name(index_path.name + "-wal"),
+            index_path.with_name(index_path.name + "-shm"),
+        ):
+            leftover.unlink(missing_ok=True)
+        store = SqliteStore.build(index_path, all_rows, meta)
+        store.close()
+    telemetry.count("store.rebuilds")
+    telemetry.count("store.rebuild.rows", len(all_rows))
+    return index_path, len(all_rows)

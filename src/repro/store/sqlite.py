@@ -1,0 +1,328 @@
+"""The SQLite backend: WAL reads, single-writer atomic builds.
+
+The index is one SQLite file with two tables:
+
+* ``sessions`` — one :class:`~repro.store.base.IndexRow` per record,
+  with a covering b-tree index per queryable column;
+* ``store_meta`` — key/value self-description
+  (:class:`~repro.store.base.StoreMeta`): schema version, config
+  fingerprint, content digest, record count.
+
+Writes happen exactly once, at build time, in a single transaction
+against a temp file that is fsync'ed and renamed into place — the same
+atomic-write discipline as every other artifact
+(:mod:`repro.util.fsio`), so a killed build leaves either the previous
+index intact or the new one complete.  The file is switched to WAL
+journal mode before the rename so subsequent readers never block each
+other.  After the build the store is append-closed: there is no update
+path, only rebuild-from-shards
+(:func:`repro.store.builder.rebuild_index`).
+
+Every backend failure (unreadable file, failed ``quick_check``,
+missing or foreign meta) is normalized to
+:class:`~repro.store.base.StoreError` /
+:class:`~repro.store.base.StaleIndexError` — callers never see raw
+``sqlite3`` exceptions.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro import telemetry
+from repro.store.base import (
+    INDEX_COLUMNS,
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    IndexRow,
+    StaleIndexError,
+    StoreError,
+    StoreMeta,
+    normalize_filters,
+)
+
+#: Columns ``distinct`` / ``count_by`` may group on.
+_GROUPABLE = INDEX_COLUMNS + ("session_id", "source")
+
+_SCHEMA = f"""
+CREATE TABLE store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE sessions (
+    session_id   TEXT PRIMARY KEY,
+    day          TEXT NOT NULL,
+    sensor_id    TEXT NOT NULL,
+    client_ip    TEXT NOT NULL,
+    session_hash TEXT NOT NULL,
+    protocol     TEXT NOT NULL,
+    rule_label   TEXT NOT NULL,
+    source       TEXT NOT NULL,
+    seq          INTEGER NOT NULL
+);
+{chr(10).join(
+    f"CREATE INDEX idx_sessions_{column} ON sessions ({column});"
+    for column in INDEX_COLUMNS
+)}
+"""
+
+
+def _fsync_path(path: Path) -> None:
+    descriptor = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(descriptor)
+    finally:
+        os.close(descriptor)
+
+
+class SqliteStore(ArtifactStore):
+    """A read-only view over one built index file."""
+
+    def __init__(self, path: Path, connection: sqlite3.Connection) -> None:
+        self.path = path
+        self._connection = connection
+        self._meta: StoreMeta | None = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, path: Path | str, rows: Sequence[IndexRow], meta: StoreMeta
+    ) -> "SqliteStore":
+        """Build the index atomically at ``path`` and open it.
+
+        The whole build is one transaction against ``<path>.tmp``; only
+        a complete, WAL-mode file is ever renamed over ``path``.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + ".tmp")
+        temp.unlink(missing_ok=True)
+        with telemetry.span("store.build"):
+            connection = sqlite3.connect(temp)
+            try:
+                connection.executescript(_SCHEMA)
+                with connection:
+                    connection.executemany(
+                        "INSERT INTO sessions VALUES (?,?,?,?,?,?,?,?,?)",
+                        (
+                            (
+                                row.session_id, row.day, row.sensor_id,
+                                row.client_ip, row.session_hash, row.protocol,
+                                row.rule_label, row.source, row.seq,
+                            )
+                            for row in rows
+                        ),
+                    )
+                    connection.executemany(
+                        "INSERT INTO store_meta VALUES (?, ?)",
+                        [
+                            ("schema_version", str(meta.schema_version)),
+                            ("config_fingerprint", meta.config_fingerprint),
+                            ("content_digest", meta.content_digest),
+                            ("record_count", str(meta.record_count)),
+                        ],
+                    )
+                # Persist WAL journal mode in the file header so readers
+                # of the final file get concurrent non-blocking reads.
+                connection.execute("PRAGMA journal_mode=WAL")
+            finally:
+                connection.close()
+            _fsync_path(temp)
+            os.replace(temp, path)
+        telemetry.count("store.builds")
+        telemetry.count("store.build.rows", len(rows))
+        return cls.open(path)
+
+    @classmethod
+    def open(
+        cls,
+        path: Path | str,
+        *,
+        expected_fingerprint: str | None = None,
+        expected_digest: str | None = None,
+    ) -> "SqliteStore":
+        """Open and vet an existing index before first use.
+
+        Runs SQLite's ``quick_check``, requires a supported schema
+        version, and — when the caller knows what the index *should*
+        describe — compares the stored config fingerprint and content
+        digest, raising :class:`StaleIndexError` on mismatch.  An index
+        that fails any gate is never queried.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise StoreError("no such index", path=path, reason="absent")
+        try:
+            connection = sqlite3.connect(path)
+        except sqlite3.Error as error:  # pragma: no cover - connect rarely fails
+            raise StoreError(
+                f"cannot open index: {error}", path=path, reason="unreadable"
+            ) from error
+        store = cls(path, connection)
+        try:
+            verdict = connection.execute("PRAGMA quick_check").fetchone()
+            if verdict is None or verdict[0] != "ok":
+                raise StoreError(
+                    f"integrity check failed: {verdict and verdict[0]}",
+                    path=path,
+                    reason="integrity-check-failed",
+                )
+            meta = store.meta()
+        except sqlite3.Error as error:
+            connection.close()
+            raise StoreError(
+                f"unreadable index: {error}", path=path, reason="unreadable"
+            ) from error
+        except StoreError:
+            connection.close()
+            raise
+        if meta.schema_version != STORE_SCHEMA_VERSION:
+            connection.close()
+            raise StoreError(
+                f"unsupported index schema version {meta.schema_version} "
+                f"(supported: {STORE_SCHEMA_VERSION})",
+                path=path,
+                reason="unsupported-schema",
+            )
+        # Self-check: the meta row count pins what the build inserted,
+        # so silently dropped rows (a healthy-looking database that
+        # desynced from its shards) are caught before the first query.
+        try:
+            actual_rows = connection.execute(
+                "SELECT COUNT(*) FROM sessions"
+            ).fetchone()[0]
+        except sqlite3.Error as error:
+            connection.close()
+            raise StoreError(
+                f"unreadable index: {error}", path=path, reason="unreadable"
+            ) from error
+        if actual_rows != meta.record_count:
+            connection.close()
+            raise StoreError(
+                f"index holds {actual_rows} rows but store_meta promises "
+                f"{meta.record_count} (rows dropped or foreign)",
+                path=path,
+                reason="row-count-mismatch",
+            )
+        if (
+            expected_fingerprint is not None
+            and meta.config_fingerprint != expected_fingerprint
+        ):
+            connection.close()
+            raise StaleIndexError(
+                "index was built for a different configuration",
+                path=path,
+                reason="fingerprint-mismatch",
+            )
+        if expected_digest is not None and meta.content_digest != expected_digest:
+            connection.close()
+            raise StaleIndexError(
+                "index content digest does not match the expected dataset",
+                path=path,
+                reason="digest-mismatch",
+            )
+        telemetry.count("store.opens")
+        return store
+
+    # -- queries -------------------------------------------------------
+
+    def _where(self, filters: dict) -> tuple[str, list[str]]:
+        cleaned = normalize_filters(filters)
+        if not cleaned:
+            return "", []
+        clause = " WHERE " + " AND ".join(
+            f"{column} = ?" for column in sorted(cleaned)
+        )
+        return clause, [cleaned[column] for column in sorted(cleaned)]
+
+    def _execute(self, query: str, parameters: list[str]):
+        telemetry.count("store.queries")
+        try:
+            return self._connection.execute(query, parameters)
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"query failed: {error}", path=self.path, reason="query-failed"
+            ) from error
+
+    def meta(self) -> StoreMeta:
+        if self._meta is None:
+            try:
+                pairs = dict(
+                    self._connection.execute(
+                        "SELECT key, value FROM store_meta"
+                    ).fetchall()
+                )
+                self._meta = StoreMeta(
+                    schema_version=int(pairs["schema_version"]),
+                    config_fingerprint=pairs["config_fingerprint"],
+                    content_digest=pairs["content_digest"],
+                    record_count=int(pairs["record_count"]),
+                )
+            except (sqlite3.Error, KeyError, ValueError) as error:
+                raise StoreError(
+                    f"missing or corrupt store_meta: {error}",
+                    path=self.path,
+                    reason="meta-unreadable",
+                ) from error
+        return self._meta
+
+    def count(self, **filters: object) -> int:
+        clause, parameters = self._where(filters)
+        cursor = self._execute(
+            f"SELECT COUNT(*) FROM sessions{clause}", parameters
+        )
+        return int(cursor.fetchone()[0])
+
+    def session_ids(self, **filters: object) -> list[str]:
+        clause, parameters = self._where(filters)
+        cursor = self._execute(
+            f"SELECT session_id FROM sessions{clause} ORDER BY session_id",
+            parameters,
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def rows(self, **filters: object) -> list[IndexRow]:
+        clause, parameters = self._where(filters)
+        cursor = self._execute(
+            "SELECT session_id, day, sensor_id, client_ip, session_hash, "
+            f"protocol, rule_label, source, seq FROM sessions{clause} "
+            "ORDER BY source, seq",
+            parameters,
+        )
+        return [IndexRow(*row) for row in cursor.fetchall()]
+
+    def distinct(self, column: str, **filters: object) -> list[str]:
+        self._check_column(column)
+        clause, parameters = self._where(filters)
+        cursor = self._execute(
+            f"SELECT DISTINCT {column} FROM sessions{clause} ORDER BY {column}",
+            parameters,
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def count_by(self, column: str, **filters: object) -> dict[str, int]:
+        self._check_column(column)
+        clause, parameters = self._where(filters)
+        cursor = self._execute(
+            f"SELECT {column}, COUNT(*) FROM sessions{clause} "
+            f"GROUP BY {column} ORDER BY {column}",
+            parameters,
+        )
+        return {value: count for value, count in cursor.fetchall()}
+
+    def _check_column(self, column: str) -> None:
+        if column not in _GROUPABLE:
+            known = ", ".join(_GROUPABLE)
+            raise ValueError(f"unknown index column {column!r} (known: {known})")
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+def iter_index_rows(store: SqliteStore) -> Iterable[IndexRow]:
+    """All rows of an open store (the audit's row stream)."""
+    return store.rows()

@@ -82,8 +82,10 @@ __all__ = [
 #: serial run and a parallel run of the same config (the parent's
 #: absorb bookkeeping only exists when shards are merged, checkpoint
 #: cadence is day-based serially but shard-boundary-based in parallel,
-#: and watchdog breaches depend on wall-clock scheduling), so the
-#: differential suite compares registries with these filtered out.
+#: and watchdog breaches depend on wall-clock scheduling; store
+#: counters track artifact-tree persistence, which is engine-external
+#: bookkeeping), so the differential suite compares registries with
+#: these filtered out.
 #: The admission counters (``overload.admitted/shed/deferred``) are
 #: deliberately NOT here: shedding verdicts are seeded per record, so
 #: both engines must agree on them exactly.
@@ -92,6 +94,7 @@ MERGE_ONLY_PREFIXES = (
     "collector.absorb.",
     "checkpoint.",
     "overload.watchdog.",
+    "store.",
 )
 
 #: The currently active registry, or None while telemetry is disabled.
