@@ -232,6 +232,48 @@ def build_substrate(
     )
 
 
+def _route_draws(
+    bot: Bot,
+    route_rng,
+    n: int,
+    fleet_size: int,
+    day: date,
+) -> tuple[list[int], list[float]]:
+    """Draw ``n`` routing pairs (honeypot index, second-of-day) at once.
+
+    The RNG batching contract: the route stream is consumed in exactly
+    the per-session order — index, start, index, start, ... — so the
+    generator state after ``n`` pairs is identical to ``n`` interleaved
+    :meth:`Bot.choose_honeypot_index` / :meth:`Bot.start_seconds`
+    calls.  Bots overriding either hook get their bound methods called
+    in the same order; the fast branch below is just the default hooks
+    inlined (``uniform(0, 86400)`` is ``86400 * random()`` bit-exactly).
+    """
+    bot_type = type(bot)
+    if (
+        bot_type.choose_honeypot_index is Bot.choose_honeypot_index
+        and bot_type.start_seconds is Bot.start_seconds
+    ):
+        randrange = route_rng.randrange
+        rand = route_rng.random
+        indices: list[int] = []
+        seconds: list[float] = []
+        push_index = indices.append
+        push_second = seconds.append
+        for _ in range(n):
+            push_index(randrange(fleet_size))
+            push_second(rand() * 86_400.0)
+        return indices, seconds
+    choose = bot.choose_honeypot_index
+    start = bot.start_seconds
+    indices = []
+    seconds = []
+    for _ in range(n):
+        indices.append(choose(route_rng, fleet_size))
+        seconds.append(start(route_rng, day))
+    return indices, seconds
+
+
 def simulate_day(
     substrate: SimulationSubstrate,
     day: date,
@@ -242,28 +284,42 @@ def simulate_day(
     This is *the* inner loop: the serial engine and every parallel
     shard worker call this exact function, so the record stream for a
     given day is identical no matter which process produces it.
+
+    With the default ``include_telnet=True`` config the routing draws
+    are batched per (bot, day) via :func:`_route_draws`; excluding
+    telnet interleaves a protocol filter between the two route draws of
+    each session, so that configuration keeps the per-session loop.
     """
     config = substrate.config
     honeypots = substrate.honeynet.honeypots
     fleet_size = len(honeypots)
     context = substrate.context
+    day_epoch = to_epoch(day)
+    ordinal = day.toordinal()
     produced = 0
     active_bots = 0
+    batch_routes = config.include_telnet
     for bot in substrate.bots:
         intents = bot.sessions_for_day(context, day)
         if not intents:
             continue
         active_bots += 1
-        route_rng = context.tree.child(
-            "route", bot.name, day.toordinal()
-        ).rand()
+        route_rng = context.tree.rand_for("route", bot.name, ordinal)
+        if batch_routes:
+            indices, seconds = _route_draws(
+                bot, route_rng, len(intents), fleet_size, day
+            )
+            for intent, index, start in zip(intents, indices, seconds):
+                deliver(honeypots[index].handle(intent, day_epoch + start))
+            produced += len(intents)
+            continue
         for intent in intents:
             honeypot = honeypots[
                 bot.choose_honeypot_index(route_rng, fleet_size)
             ]
-            if not config.include_telnet and intent.protocol.value == "telnet":
+            if intent.protocol.value == "telnet":
                 continue
-            when = to_epoch(day, bot.start_seconds(route_rng, day))
+            when = day_epoch + bot.start_seconds(route_rng, day)
             record = honeypot.handle(intent, when)
             deliver(record)
             produced += 1
@@ -274,7 +330,7 @@ def simulate_day(
         for index, seconds, intent in substrate.flood.arrivals(
             day, fleet_size
         ):
-            record = honeypots[index].handle(intent, to_epoch(day, seconds))
+            record = honeypots[index].handle(intent, day_epoch + seconds)
             deliver(record)
             produced += 1
     registry = telemetry.active()
@@ -297,18 +353,41 @@ def count_day(
     exactly the session-counter increments the real loop would apply —
     the parallel engine uses prefix sums of these to preset each
     shard's honeypot counters.
+
+    Fast path: when telnet is included (the default) the count is
+    independent of intent *contents*, so building intents is skipped
+    entirely — only the session-count draw and the batched route draws
+    are made (the ``intents`` subtree is an independent hash-derived
+    stream; not drawing it cannot perturb any other stream).  Bots that
+    override :meth:`Bot.sessions_for_day` fall back to the full loop.
     """
     config = substrate.config
     honeypots = substrate.honeynet.honeypots
     fleet_size = len(honeypots)
     context = substrate.context
+    ordinal = day.toordinal()
+    count_only = config.include_telnet
     for bot in substrate.bots:
+        if count_only and type(bot).sessions_for_day is Bot.sessions_for_day:
+            n = bot.session_count(context, day)
+            if n == 0:
+                continue
+            route_rng = context.tree.rand_for("route", bot.name, ordinal)
+            indices, _seconds = _route_draws(
+                bot, route_rng, n, fleet_size, day
+            )
+            tallies = [0] * fleet_size
+            for index in indices:
+                tallies[index] += 1
+            for index, hits in enumerate(tallies):
+                if hits:
+                    honeypot_id = honeypots[index].honeypot_id
+                    counts[honeypot_id] = counts.get(honeypot_id, 0) + hits
+            continue
         intents = bot.sessions_for_day(context, day)
         if not intents:
             continue
-        route_rng = context.tree.child(
-            "route", bot.name, day.toordinal()
-        ).rand()
+        route_rng = context.tree.rand_for("route", bot.name, ordinal)
         for intent in intents:
             index = bot.choose_honeypot_index(route_rng, fleet_size)
             if not config.include_telnet and intent.protocol.value == "telnet":
@@ -331,6 +410,11 @@ def _finish_result(
     started: float,
 ) -> SimulationResult:
     """Wrap the collected sessions into the public result object."""
+    # Final telemetry flush: the day loop emits collector and channel
+    # counters at day granularity, so pick up whatever moved since the
+    # last boundary.
+    collector.flush_telemetry()
+    channel.flush_telemetry()
     with telemetry.span("sim.finalize"):
         database = SessionDatabase(collector.sessions)
     telemetry.gauge("sim.stored_sessions", len(database))
@@ -550,6 +634,7 @@ def run_simulation(
             # checkpoint below — the deferral queues are intra-day
             # state and are never serialized.
             collector.end_of_day()
+            channel.flush_telemetry()
             days_done += 1
             stopping = stop_after is not None and day >= stop_after
             if checkpoint_path is not None and (

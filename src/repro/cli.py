@@ -484,14 +484,54 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default regression floors for ``repro bench --enforce``.
+SPEEDUP_FLOOR = 1.8
+TELEMETRY_BAR_PCT = 5.0
+
+
+def check_bench_floors(
+    report: dict,
+    speedup_floor: float = SPEEDUP_FLOOR,
+    telemetry_bar_pct: float = TELEMETRY_BAR_PCT,
+) -> list[str]:
+    """Regression-floor violations in a bench report (empty = healthy).
+
+    Two floors guard the perf trajectory: parallel day-loop speedup at
+    the benched worker count, and telemetry overhead on the serial
+    engine.  The speedup floor only applies on multi-core machines —
+    on a single core, parallel execution cannot beat serial by
+    construction, so the floor would only measure the box, not the
+    code.  The telemetry bar applies everywhere.
+    """
+    violations: list[str] = []
+    day = report.get("day_loop", {})
+    if (report.get("cpu_count") or 1) >= 2:
+        speedup = day.get("speedup", 0.0)
+        if speedup < speedup_floor:
+            violations.append(
+                f"day-loop speedup {speedup:.2f}x at "
+                f"{report.get('workers')} workers is below the "
+                f"{speedup_floor:.2f}x floor"
+            )
+    overhead = report.get("telemetry", {}).get("overhead_pct", 0.0)
+    if overhead > telemetry_bar_pct:
+        violations.append(
+            f"telemetry overhead {overhead:.2f}% exceeds the "
+            f"{telemetry_bar_pct:.2f}% bar"
+        )
+    return violations
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Time serial vs N-worker execution of both parallel stages.
 
     Records wall-clock for the simulation day-loop and for the DLD
     distance matrix, serial vs ``--workers`` processes, and verifies
     digest/bit equality between the two runs while at it.  With
-    ``--json PATH`` the numbers land in a machine-readable file (CI
-    runs this once as a smoke test, without thresholds).
+    ``--json PATH`` the numbers land in a machine-readable file.  With
+    ``--enforce`` the run additionally fails on regression-floor
+    violations (:func:`check_bench_floors`) — the CI smoke runs this
+    so a speedup or telemetry-overhead regression breaks the build.
     """
     import json
     import os
@@ -651,6 +691,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "digest_match": flood_match,
         },
     }
+    violations = check_bench_floors(
+        report,
+        speedup_floor=args.speedup_floor,
+        telemetry_bar_pct=args.telemetry_bar,
+    )
+    report["enforcement"] = {
+        "enforced": bool(args.enforce),
+        "speedup_floor": args.speedup_floor,
+        "speedup_floor_applies": (report["cpu_count"] or 1) >= 2,
+        "telemetry_bar_pct": args.telemetry_bar,
+        "violations": violations,
+    }
     print(f"== bench: serial vs {workers} workers ==")
     print(
         f"day-loop:   {serial_day_s:.3f}s -> {parallel_day_s:.3f}s "
@@ -674,14 +726,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"({flood_accounting['shed']} shed of {flood_generated}, "
         f"digest match: {flood_match})"
     )
+    for violation in violations:
+        marker = "FAIL" if args.enforce else "warn"
+        print(f"{marker}: {violation}")
     if args.json is not None:
         args.json.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.json}")
-    return (
-        0
-        if digest_match and matrix_match and telemetry_match and flood_match
-        else 1
-    )
+    healthy = digest_match and matrix_match and telemetry_match and flood_match
+    if args.enforce and violations:
+        return 1
+    return 0 if healthy else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -776,6 +830,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--dld-sample", type=int, default=400, metavar="N",
         help="command sessions sampled for the DLD matrix timing",
+    )
+    bench.add_argument(
+        "--enforce", action="store_true",
+        help="fail (exit 1) on regression-floor violations",
+    )
+    bench.add_argument(
+        "--speedup-floor", type=float, default=SPEEDUP_FLOOR, metavar="X",
+        help="minimum day-loop speedup at --workers (multi-core only; "
+        f"default {SPEEDUP_FLOOR})",
+    )
+    bench.add_argument(
+        "--telemetry-bar", type=float, default=TELEMETRY_BAR_PCT,
+        metavar="PCT",
+        help="maximum telemetry overhead percentage "
+        f"(default {TELEMETRY_BAR_PCT})",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -84,6 +84,12 @@ class DirectChannel:
     def deliver(self, record: SessionRecord) -> bool:
         return self.collector.ingest(record)
 
+    def flush_telemetry(self) -> None:
+        """Nothing to flush — a lossless channel records no telemetry."""
+
+    def mark_telemetry_flushed(self) -> None:
+        """Nothing to mark — a lossless channel records no telemetry."""
+
 
 class ResilientChannel:
     """At-least-once delivery with bounded retries over a lossy path.
@@ -105,6 +111,8 @@ class ResilientChannel:
         self.policy = policy or RetryPolicy.from_faults(faults)
         self.stats = ChannelStats()
         self._tree = tree
+        self._flushed_attempts = 0
+        self._flushed_delivered = 0
 
     def deliver(self, record: SessionRecord) -> bool:
         """Deliver one record; returns True iff it ended up stored."""
@@ -114,14 +122,12 @@ class ResilientChannel:
         if reason is not None:
             collector.record_drop(reason)
             return False
-        rng = self._tree.child(record.session_id).rand()
+        rng = self._tree.rand_for(record.session_id)
         faults = self.faults
         registry = telemetry.active()
         fail_below = faults.failure_probability + faults.corruption_probability
         for attempt in range(1, self.policy.max_attempts + 1):
             self.stats.attempts += 1
-            if registry is not None:
-                registry.count("transport.attempts")
             roll = rng.random()
             if roll < faults.corruption_probability:
                 self.stats.corrupt_deliveries += 1
@@ -138,8 +144,6 @@ class ResilientChannel:
                 stored = collector.admit(record)
                 if stored:
                     self.stats.delivered += 1
-                    if registry is not None:
-                        registry.count("transport.delivered")
                     if rng.random() < faults.duplicate_probability:
                         # Lost ack: the sensor re-transmits the stored
                         # record; the duplicate crosses the collection
@@ -160,6 +164,42 @@ class ResilientChannel:
                     )
         collector.dead_letter(record)
         return False
+
+    def flush_telemetry(self) -> None:
+        """Emit attempt/delivery counter deltas since the last flush.
+
+        The two counters that move on *every* record are batch-granular
+        like the collector's: ``deliver`` only bumps plain
+        :class:`ChannelStats` attributes, and the day loop flushes the
+        deltas at day boundaries and at run finish.  Totals equal
+        per-record emission exactly.  The rare-path counters (failures,
+        corruptions, duplicates, retries and the backoff histogram)
+        stay inline — they fire only on fault rolls.
+        """
+        stats = self.stats
+        registry = telemetry.active()
+        if registry is not None:
+            attempts = stats.attempts - self._flushed_attempts
+            if attempts:
+                registry.count("transport.attempts", attempts)
+            delivered = stats.delivered - self._flushed_delivered
+            if delivered:
+                registry.count("transport.delivered", delivered)
+        self._flushed_attempts = stats.attempts
+        self._flushed_delivered = stats.delivered
+
+    def mark_telemetry_flushed(self) -> None:
+        """Advance the flush snapshot without emitting.
+
+        The parallel engine folds shard ``ChannelStats`` into the
+        parent channel after each merge; those deliveries were already
+        counted — by the shard's own registry, or inline during a
+        serial fallback — so the parent's final flush must not emit
+        them again (the mirror of
+        :meth:`Collector._mark_telemetry_flushed` after ``absorb``).
+        """
+        self._flushed_attempts = self.stats.attempts
+        self._flushed_delivered = self.stats.delivered
 
 
 def build_channel(

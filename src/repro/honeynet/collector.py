@@ -28,13 +28,16 @@ still ends up stored (or deduplicated).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro import telemetry
 from repro.faults.plan import PAPER_OUTAGE, OutageWindow
 from repro.honeypot.session import SessionRecord
 from repro.overload.admission import ADMIT, DEFER, AdmissionController
 from repro.util.timeutils import epoch_ordinal
+
+if TYPE_CHECKING:
+    from repro.honeynet.columnar import ColumnBatch
 
 #: Drop reasons understood by :meth:`Collector.record_drop`.
 DROP_OUTAGE = "outage"
@@ -74,12 +77,21 @@ class Collector:
         init=False, repr=False, default=()
     )
     _seen_ids: set[str] = field(init=False, repr=False, default_factory=set)
+    #: Telemetry snapshot: counter values already emitted to the active
+    #: registry.  The hot path records nothing; :meth:`flush_telemetry`
+    #: emits the *delta* since this snapshot at batch (day) granularity.
+    _flushed: dict[str, int] = field(
+        init=False, repr=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         self._outage_ordinals = tuple(
             window.ordinals() for window in self.outages
         )
         self._seen_ids = {record.session_id for record in self.sessions}
+        # Pre-seeded state was never offered through this collector's
+        # hot path, so it must not be re-counted on the first flush.
+        self._mark_telemetry_flushed()
 
     # ------------------------------------------------------------------
     # delivery primitives (used by the transport channel)
@@ -102,17 +114,14 @@ class Collector:
             self.dropped_sensor_down += 1
         else:
             raise ValueError(f"unknown drop reason: {reason!r}")
-        telemetry.count(f"collector.dropped.{reason}")
 
     def accept(self, record: SessionRecord) -> bool:
         """Store a delivered record; False if it is a duplicate."""
         if record.session_id in self._seen_ids:
             self.deduplicated += 1
-            telemetry.count("collector.deduplicated")
             return False
         self._seen_ids.add(record.session_id)
         self.sessions.append(record)
-        telemetry.count("collector.stored")
         return True
 
     def admit(self, record: SessionRecord) -> bool:
@@ -129,38 +138,38 @@ class Collector:
         verdict = self.admission.offer(record)
         if verdict == ADMIT:
             self.admitted += 1
-            telemetry.count("overload.admitted")
             return self.accept(record)
         if verdict == DEFER:
             self.deferred += 1
-            telemetry.count("overload.deferred")
             return False
         self.shed += 1
-        telemetry.count("overload.shed")
         return False
 
     def end_of_day(self) -> int:
-        """Drain the admission gate's deferral queues at a day boundary.
+        """Close a simulated day: drain the admission gate, flush telemetry.
 
         Every deferred record is admitted (deferral delays, it never
-        loses), and the gate's daily budget resets.  Returns how many
-        drained records were stored.  No-op without a gate.
+        loses), and the gate's daily budget resets; without a gate the
+        drain is skipped entirely — a flood-off day boundary performs
+        zero admission bookkeeping.  Day boundaries are also where the
+        hot path's accounting reaches the telemetry registry
+        (:meth:`flush_telemetry`): counters are batch-granular by
+        design, so per-record instrumentation costs nothing.  Returns
+        how many drained records were stored.
         """
-        if self.admission is None:
-            return 0
         stored = 0
-        for record in self.admission.drain():
-            self.admitted += 1
-            telemetry.count("overload.admitted")
-            if self.accept(record):
-                stored += 1
+        if self.admission is not None:
+            for record in self.admission.drain():
+                self.admitted += 1
+                if self.accept(record):
+                    stored += 1
+        self.flush_telemetry()
         return stored
 
     def dead_letter(self, record: SessionRecord) -> None:
         """Park a record the transport permanently failed to deliver."""
         self.dead_letters.append(record)
         self.dead_lettered += 1
-        telemetry.count("collector.dead_lettered")
 
     # ------------------------------------------------------------------
     # the lossless delivery path (paper profile / direct ingestion)
@@ -168,7 +177,6 @@ class Collector:
     def ingest(self, record: SessionRecord) -> bool:
         """Deliver one record losslessly; returns True iff stored."""
         self.generated += 1
-        telemetry.count("collector.offered")
         reason = self.drop_reason(record)
         if reason is not None:
             self.record_drop(reason)
@@ -177,11 +185,69 @@ class Collector:
 
     def ingest_many(self, records: Iterable[SessionRecord]) -> int:
         """Ingest a batch (any iterable); returns how many were stored."""
+        ingest = self.ingest
         stored = 0
         for record in records:
-            if self.ingest(record):
+            if ingest(record):
                 stored += 1
         return stored
+
+    # ------------------------------------------------------------------
+    # batch-granularity telemetry
+    # ------------------------------------------------------------------
+    def _telemetry_state(self) -> tuple[tuple[str, int], ...]:
+        """Current counter values under their metric names.
+
+        ``overload.*`` names appear only while an admission gate is
+        attached, so flood-off runs never emit (or even name) overload
+        metrics — the differential suite pins that.
+        """
+        state = (
+            ("collector.offered", self.generated),
+            ("collector.stored", len(self.sessions)),
+            ("collector.deduplicated", self.deduplicated),
+            ("collector.dropped.outage", self.dropped_outage),
+            ("collector.dropped.sensor_down", self.dropped_sensor_down),
+            ("collector.dead_lettered", self.dead_lettered),
+        )
+        if self.admission is None:
+            return state
+        return state + (
+            ("overload.admitted", self.admitted),
+            ("overload.shed", self.shed),
+            ("overload.deferred", self.deferred),
+        )
+
+    def flush_telemetry(self) -> None:
+        """Emit counter deltas since the last flush to the registry.
+
+        The final registry totals equal what per-record instrumentation
+        would have produced — the differential telemetry suite compares
+        serial and merged-parallel registries exactly — but the hot
+        path pays one dictionary update per *day*, not per record.
+        No-op while telemetry is disabled (the snapshot then tracks the
+        would-have-been-flushed values so a later enable never
+        re-counts history).
+        """
+        registry = telemetry.active()
+        flushed = self._flushed
+        for name, current in self._telemetry_state():
+            delta = current - flushed.get(name, 0)
+            if delta:
+                if registry is not None:
+                    registry.count(name, delta)
+                flushed[name] = current
+
+    def _mark_telemetry_flushed(self) -> None:
+        """Advance the snapshot without emitting anything.
+
+        Used when counters change by means that were already accounted
+        elsewhere: checkpoint restores (the originating run counted
+        them) and shard absorption (the shard's own registry counted
+        them and is merged separately).
+        """
+        for name, current in self._telemetry_state():
+            self._flushed[name] = current
 
     # ------------------------------------------------------------------
     # accounting
@@ -234,21 +300,50 @@ class Collector:
         dead-letter) already happened inside the shard.
         """
         absorbed = len(self.sessions)
-        for record in sessions:
-            self._seen_ids.add(record.session_id)
-            self.sessions.append(record)
+        self.sessions.extend(sessions)
+        new_sessions = self.sessions[absorbed:]
+        self._seen_ids.update(record.session_id for record in new_sessions)
         absorbed = len(self.sessions) - absorbed
         dead = len(self.dead_letters)
         self.dead_letters.extend(dead_letters)
+        self._absorb_bookkeeping(absorbed, len(self.dead_letters) - dead, counters)
+
+    def absorb_batch(
+        self,
+        sessions: "ColumnBatch",
+        dead_letters: "ColumnBatch",
+        counters: dict[str, int],
+    ) -> None:
+        """Merge a shard's columnar output (:mod:`repro.honeynet.columnar`).
+
+        The vectorized twin of :meth:`absorb`: the shard shipped compact
+        column buffers over IPC, so decode them in bulk here — session
+        ids come straight off the id column (one buffer decode) rather
+        than attribute lookups on freshly built records.
+        """
+        records = sessions.to_records()
+        self.sessions.extend(records)
+        self._seen_ids.update(sessions.session_ids())
+        dead = dead_letters.to_records()
+        self.dead_letters.extend(dead)
+        self._absorb_bookkeeping(len(records), len(dead), counters)
+
+    def _absorb_bookkeeping(
+        self, absorbed: int, dead: int, counters: dict[str, int]
+    ) -> None:
+        """Merge-only telemetry + counter sums shared by both absorb paths.
+
+        The shard's own registry already counted every per-record effect
+        (and is merged separately by the engine), so the snapshot is
+        advanced without emitting — only the engine-shaped
+        ``collector.absorb.*`` marks are recorded, and those carry a
+        merge-only prefix (see :func:`repro.telemetry.comparable_view`).
+        """
         registry = telemetry.active()
         if registry is not None:
-            # Engine-shaped bookkeeping (the serial path never absorbs),
-            # hence the merge-only prefix — see telemetry.comparable_view.
             registry.count("collector.absorb.batches")
             registry.count("collector.absorb.sessions", absorbed)
-            registry.count(
-                "collector.absorb.dead_letters", len(self.dead_letters) - dead
-            )
+            registry.count("collector.absorb.dead_letters", dead)
         self.generated += counters.get("generated", 0)
         self.dropped_outage += counters.get("dropped_outage", 0)
         self.dropped_sensor_down += counters.get("dropped_sensor_down", 0)
@@ -259,6 +354,7 @@ class Collector:
         self.admitted += counters.get("admitted", 0)
         self.shed += counters.get("shed", 0)
         self.deferred += counters.get("deferred", 0)
+        self._mark_telemetry_flushed()
 
     def restore(
         self,
@@ -280,3 +376,7 @@ class Collector:
         self.admitted = counters.get("admitted", 0)
         self.shed = counters.get("shed", 0)
         self.deferred = counters.get("deferred", 0)
+        # Restored counters were already emitted by the run that wrote
+        # the checkpoint; re-seed the snapshot so they aren't re-counted.
+        self._flushed = {}
+        self._mark_telemetry_flushed()

@@ -1,0 +1,374 @@
+"""Columnar session batches: the compact wire/bulk format for records.
+
+:class:`~repro.honeypot.session.SessionRecord` is schema-fixed, so a
+list of records can be transposed into columns: one numpy array per
+fixed-width field (timestamps, ports, flags, enum codes) and one
+offset-indexed UTF-8 buffer per string field.  Nested sequences
+(logins, commands, URIs, file events) flatten into child columns with a
+per-record ``*_index`` offset array, exactly like Arrow's list layout.
+
+Why it exists:
+
+* **Compact shard IPC** — the parallel engine ships a
+  :class:`ColumnBatch` back from each shard worker instead of a pickled
+  object graph.  Pickling a batch serializes ~two dozen contiguous
+  buffers, not hundreds of thousands of nested dataclass instances, so
+  the merge path stops paying per-session pickle overhead
+  (:mod:`repro.parallel.engine`).
+* **Bulk ingest** — :meth:`repro.honeynet.collector.Collector.absorb_batch`
+  decodes a batch once and extends its stores with plain list/set bulk
+  operations.
+* **Cheap feature extraction** — the numeric columns (``start``,
+  ``end``, counts via the index arrays) are already the vectors a
+  clustering or activity-model stage needs, without touching a single
+  record object.
+
+The codec is **lossless by contract**: ``decode(encode(records)) ==
+records`` field-for-field, including unicode command strings, ``None``
+markers (``ssh_version``, ``bot_label``, file-event hashes) and exact
+float timestamps (IEEE-754 doubles survive the numpy round trip
+bit-for-bit).  ``tests/test_columnar.py`` pins that property with
+hypothesis; the parallel differential suite then proves digests are
+byte-identical end to end.
+
+Layering: imports only :mod:`repro.honeypot.session` and numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.honeypot.session import (
+    CommandRecord,
+    FileEvent,
+    FileOp,
+    LoginAttempt,
+    Protocol,
+    SessionRecord,
+)
+
+#: Stable enum code tables (index = wire code).  Append-only: codes are
+#: shipped between processes of the *same* run, but keeping them stable
+#: costs nothing and keeps captured buffers interpretable.
+PROTOCOL_CODES: tuple[Protocol, ...] = (Protocol.SSH, Protocol.TELNET)
+FILE_OP_CODES: tuple[FileOp, ...] = (
+    FileOp.CREATE,
+    FileOp.MODIFY,
+    FileOp.DELETE,
+    FileOp.EXECUTE,
+    FileOp.EXECUTE_MISSING,
+)
+_PROTOCOL_TO_CODE = {member: code for code, member in enumerate(PROTOCOL_CODES)}
+_FILE_OP_TO_CODE = {member: code for code, member in enumerate(FILE_OP_CODES)}
+
+
+def _offsets_of(lengths: list[int], total: int) -> np.ndarray:
+    """Prefix-sum offsets, in the narrowest dtype that can address them."""
+    dtype = np.uint32 if total < 2**32 else np.int64
+    offsets = np.zeros(len(lengths) + 1, dtype=dtype)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets
+
+
+@dataclass(frozen=True)
+class StringColumn:
+    """``n`` UTF-8 strings in one buffer with ``n + 1`` byte offsets.
+
+    ``None`` entries (nullable columns) are encoded as an empty slice
+    plus a ``False`` bit in ``present``.  When the buffer contains any
+    multi-byte code point, ``char_offsets`` additionally carries
+    character offsets so :meth:`values` can decode the buffer *once*
+    and slice the resulting ``str`` — an order of magnitude cheaper
+    than per-slice ``bytes.decode`` calls on big batches.
+    """
+
+    buffer: bytes
+    offsets: np.ndarray  # uint32/int64, length n + 1, byte offsets
+    present: np.ndarray | None = None  # bool mask, length n (None = all)
+    char_offsets: np.ndarray | None = None  # set iff buffer is non-ASCII
+
+    @classmethod
+    def encode(cls, values: Sequence[str | None]) -> "StringColumn":
+        mask: np.ndarray | None = None
+        try:
+            chunks = [value.encode("utf-8") for value in values]
+        except AttributeError:  # at least one None: nullable slow path
+            mask = np.array([value is not None for value in values])
+            chunks = [
+                value.encode("utf-8") if value is not None else b""
+                for value in values
+            ]
+        buffer = b"".join(chunks)
+        char_offsets = None
+        if not buffer.isascii():
+            char_offsets = _offsets_of(
+                [len(value) if value is not None else 0 for value in values],
+                sum(len(value) if value is not None else 0 for value in values),
+            )
+        return cls(
+            buffer=buffer,
+            offsets=_offsets_of([len(chunk) for chunk in chunks], len(buffer)),
+            present=mask,
+            char_offsets=char_offsets,
+        )
+
+    def values(self) -> list[str | None]:
+        text = self.buffer.decode("utf-8")
+        bounds = (
+            self.char_offsets if self.char_offsets is not None else self.offsets
+        ).tolist()
+        out: list[str | None] = [
+            text[bounds[i] : bounds[i + 1]] for i in range(len(bounds) - 1)
+        ]
+        if self.present is not None:
+            for i in np.flatnonzero(~self.present).tolist():
+                out[i] = None
+        return out
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def nbytes(self) -> int:
+        total = len(self.buffer) + self.offsets.nbytes
+        if self.present is not None:
+            total += self.present.nbytes
+        if self.char_offsets is not None:
+            total += self.char_offsets.nbytes
+        return total
+
+
+def _index_of(nested: list[list], flat_count: int) -> np.ndarray:
+    """The ``n + 1`` offsets of each record's slice in a flattened child."""
+    return _offsets_of([len(item) for item in nested], flat_count)
+
+
+@dataclass(frozen=True)
+class ColumnBatch:
+    """A batch of session records transposed into columns.
+
+    Construct with :meth:`from_records`, recover the records with
+    :meth:`to_records`.  Pickling a batch (shard IPC) serializes the
+    column buffers directly — no per-record object traversal.
+    """
+
+    session_id: StringColumn
+    honeypot_id: StringColumn
+    honeypot_ip: StringColumn
+    honeypot_port: np.ndarray  # int64
+    protocol: np.ndarray  # uint8 codes into PROTOCOL_CODES
+    client_ip: StringColumn
+    client_port: np.ndarray  # int64
+    start: np.ndarray  # float64
+    end: np.ndarray  # float64
+    timed_out: np.ndarray  # bool
+    ssh_version: StringColumn  # nullable
+    bot_label: StringColumn  # nullable
+    # logins — flattened LoginAttempt columns + per-record offsets
+    login_index: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    login_username: StringColumn = field(
+        default_factory=lambda: StringColumn.encode(())
+    )
+    login_password: StringColumn = field(
+        default_factory=lambda: StringColumn.encode(())
+    )
+    login_success: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
+    # commands — flattened CommandRecord columns + offsets
+    command_index: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    command_raw: StringColumn = field(
+        default_factory=lambda: StringColumn.encode(())
+    )
+    command_known: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
+    command_output: StringColumn = field(
+        default_factory=lambda: StringColumn.encode(())
+    )
+    # uris — flattened strings + offsets
+    uri_index: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    uri_values: StringColumn = field(
+        default_factory=lambda: StringColumn.encode(())
+    )
+    # file events — flattened FileEvent columns + offsets
+    event_index: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    event_path: StringColumn = field(
+        default_factory=lambda: StringColumn.encode(())
+    )
+    event_op: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
+    event_sha256: StringColumn = field(  # nullable
+        default_factory=lambda: StringColumn.encode(())
+    )
+    event_source: StringColumn = field(
+        default_factory=lambda: StringColumn.encode(())
+    )
+
+    def __len__(self) -> int:
+        return len(self.session_id)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate wire size of the batch (buffers + offset arrays)."""
+        total = 0
+        for value in self.__dict__.values():
+            if isinstance(value, (StringColumn, np.ndarray)):
+                total += value.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Sequence[SessionRecord]) -> "ColumnBatch":
+        """Encode ``records`` (order-preserving, lossless)."""
+        logins = [r.logins for r in records]
+        flat_logins = [a for group in logins for a in group]
+        commands = [r.commands for r in records]
+        flat_commands = [c for group in commands for c in group]
+        uris = [r.uris for r in records]
+        flat_uris = [u for group in uris for u in group]
+        events = [r.file_events for r in records]
+        flat_events = [e for group in events for e in group]
+        return cls(
+            session_id=StringColumn.encode([r.session_id for r in records]),
+            honeypot_id=StringColumn.encode([r.honeypot_id for r in records]),
+            honeypot_ip=StringColumn.encode([r.honeypot_ip for r in records]),
+            honeypot_port=np.array(
+                [r.honeypot_port for r in records], dtype=np.int64
+            ),
+            protocol=np.array(
+                [_PROTOCOL_TO_CODE[r.protocol] for r in records], dtype=np.uint8
+            ),
+            client_ip=StringColumn.encode([r.client_ip for r in records]),
+            client_port=np.array(
+                [r.client_port for r in records], dtype=np.int64
+            ),
+            start=np.array([r.start for r in records], dtype=np.float64),
+            end=np.array([r.end for r in records], dtype=np.float64),
+            timed_out=np.array([r.timed_out for r in records], dtype=bool),
+            ssh_version=StringColumn.encode(
+                [r.ssh_version for r in records]
+            ),
+            bot_label=StringColumn.encode([r.bot_label for r in records]),
+            login_index=_index_of(logins, len(flat_logins)),
+            login_username=StringColumn.encode(
+                [a.username for a in flat_logins]
+            ),
+            login_password=StringColumn.encode(
+                [a.password for a in flat_logins]
+            ),
+            login_success=np.array(
+                [a.success for a in flat_logins], dtype=bool
+            ),
+            command_index=_index_of(commands, len(flat_commands)),
+            command_raw=StringColumn.encode([c.raw for c in flat_commands]),
+            command_known=np.array(
+                [c.known for c in flat_commands], dtype=bool
+            ),
+            command_output=StringColumn.encode(
+                [c.output for c in flat_commands]
+            ),
+            uri_index=_index_of(uris, len(flat_uris)),
+            uri_values=StringColumn.encode(flat_uris),
+            event_index=_index_of(events, len(flat_events)),
+            event_path=StringColumn.encode([e.path for e in flat_events]),
+            event_op=np.array(
+                [_FILE_OP_TO_CODE[e.op] for e in flat_events], dtype=np.uint8
+            ),
+            event_sha256=StringColumn.encode(
+                [e.sha256 for e in flat_events]
+            ),
+            event_source=StringColumn.encode(
+                [e.source for e in flat_events]
+            ),
+        )
+
+    def to_records(self) -> list[SessionRecord]:
+        """Decode back to record objects (the inverse of ``from_records``).
+
+        Every scalar crosses back through ``.tolist()`` so downstream
+        consumers (JSON export, digests) see pure Python ``int`` /
+        ``float`` / ``bool`` values, never numpy scalars.
+        """
+        flat_logins = [
+            LoginAttempt(u, p, s)
+            for u, p, s in zip(
+                self.login_username.values(),
+                self.login_password.values(),
+                self.login_success.tolist(),
+            )
+        ]
+        flat_commands = [
+            CommandRecord(raw, known, output)
+            for raw, known, output in zip(
+                self.command_raw.values(),
+                self.command_known.tolist(),
+                self.command_output.values(),
+            )
+        ]
+        flat_uris = self.uri_values.values()
+        flat_events = [
+            FileEvent(path, FILE_OP_CODES[op], sha, src)
+            for path, op, sha, src in zip(
+                self.event_path.values(),
+                self.event_op.tolist(),
+                self.event_sha256.values(),
+                self.event_source.values(),
+            )
+        ]
+        login_at = self.login_index.tolist()
+        command_at = self.command_index.tolist()
+        uri_at = self.uri_index.tolist()
+        event_at = self.event_index.tolist()
+        protocols = [PROTOCOL_CODES[code] for code in self.protocol.tolist()]
+        return [
+            SessionRecord(
+                sid,
+                hid,
+                hip,
+                hport,
+                proto,
+                cip,
+                cport,
+                start,
+                end,
+                ssh,
+                flat_logins[login_at[i] : login_at[i + 1]],
+                flat_commands[command_at[i] : command_at[i + 1]],
+                flat_uris[uri_at[i] : uri_at[i + 1]],
+                flat_events[event_at[i] : event_at[i + 1]],
+                timed_out,
+                label,
+            )
+            for i, (
+                sid,
+                hid,
+                hip,
+                hport,
+                proto,
+                cip,
+                cport,
+                start,
+                end,
+                ssh,
+                timed_out,
+                label,
+            ) in enumerate(
+                zip(
+                    self.session_id.values(),
+                    self.honeypot_id.values(),
+                    self.honeypot_ip.values(),
+                    self.honeypot_port.tolist(),
+                    protocols,
+                    self.client_ip.values(),
+                    self.client_port.tolist(),
+                    self.start.tolist(),
+                    self.end.tolist(),
+                    self.ssh_version.values(),
+                    self.timed_out.tolist(),
+                    self.bot_label.values(),
+                )
+            )
+        ]
+
+    def session_ids(self) -> list[str]:
+        """All session ids without decoding full records (bulk dedup)."""
+        return self.session_id.values()

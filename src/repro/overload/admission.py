@@ -88,8 +88,7 @@ class AdmissionController:
         if priority == 0:
             return SHED
         if priority == 1:
-            coin = self.tree.child(record.session_id).rand()
-            if coin.random() < self.shed_probability:
+            if self.tree.coin(record.session_id) < self.shed_probability:
                 return SHED
         queue = self._queues.setdefault(record.honeypot_id, [])
         if len(queue) >= self.queue_capacity:

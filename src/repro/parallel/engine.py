@@ -21,7 +21,15 @@ codebase already guarantees:
 * **Order-independent delivery** — transport faults are keyed by
   session id and collector accounting is a sum of per-record effects,
   so shard-local collectors merged in shard order reproduce the serial
-  collector byte for byte (:meth:`repro.honeynet.collector.Collector.absorb`).
+  collector byte for byte (:meth:`repro.honeynet.collector.Collector.absorb`
+  / :meth:`~repro.honeynet.collector.Collector.absorb_batch`).
+
+Shard results cross the process boundary as compact column buffers
+(:mod:`repro.honeynet.columnar`, gated by :data:`COLUMNAR_IPC`): the
+worker encodes its record lists into a :class:`ColumnBatch` whose
+pickle is a handful of flat numpy/bytes buffers, and the parent decodes
+with a vectorized bulk-ingest — the round-trip is proven an identity by
+the property suite, so the merged digest cannot move.
 
 Checkpoints are written at shard boundaries with the same format as the
 serial engine, so serial and parallel runs can resume each other's
@@ -79,6 +87,7 @@ from repro.faults.corruption import (
     crash_point,
     hang_point,
 )
+from repro.honeynet.columnar import ColumnBatch
 from repro.honeypot.session import SessionRecord
 from repro.overload.watchdog import DeadlinePolicy, ShardDeadlineExceeded
 from repro.parallel.shards import Shard, plan_shards
@@ -86,6 +95,13 @@ from repro import telemetry
 from repro.util.timeutils import days_between
 
 logger = logging.getLogger("repro.parallel")
+
+#: Ship shard results as compact column buffers (:class:`ColumnBatch`)
+#: instead of pickled ``SessionRecord`` object graphs.  The legacy
+#: object-graph IPC path is retained only as a differential oracle for
+#: the cross-matrix suite (``tests/test_columnar.py``) and is scheduled
+#: for removal once that leg has baked in CI.
+COLUMNAR_IPC = True
 
 #: Collector counter names merged across shards (mirrors the
 #: checkpoint serialization so the two stay in sync).
@@ -109,11 +125,18 @@ MAX_SHARD_ATTEMPTS = 3
 
 @dataclass
 class ShardOutput:
-    """Everything one fully simulated shard sends back to the parent."""
+    """Everything one fully simulated shard sends back to the parent.
+
+    ``sessions``/``dead_letters`` are :class:`ColumnBatch` column
+    buffers on the columnar IPC path (pool workers) and plain record
+    lists on the legacy path and the in-parent serial fallback (where
+    there is no IPC to compress); the merge loop dispatches on the
+    payload type.
+    """
 
     index: int
-    sessions: list[SessionRecord]
-    dead_letters: list[SessionRecord]
+    sessions: "list[SessionRecord] | ColumnBatch"
+    dead_letters: "list[SessionRecord] | ColumnBatch"
     counters: dict[str, int]
     channel_stats: dict[str, float]
     #: Per-honeypot sessions handled inside this shard (counter deltas).
@@ -126,24 +149,37 @@ class ShardOutput:
 # ----------------------------------------------------------------------
 # worker-process side
 # ----------------------------------------------------------------------
-# Workers rebuild the substrate from the (picklable) config rather than
-# inheriting parent memory, so behaviour is identical under fork and
-# spawn start methods.  The substrate is cached per worker process and
-# reused across shard tasks; honeypot counters are preset absolutely at
-# the start of every task, so task order cannot leak state.
+# Workers prefer the substrate the parent built: under the fork start
+# method the child's address space already holds it (copy-on-write), so
+# rebuilding it per worker (~1s of population/fleet derivation) would be
+# pure waste.  That is safe because a worker's only substrate mutations
+# are the honeypot counters, which every task presets absolutely before
+# simulating — a replacement worker forked mid-merge sees the same
+# bytes-on-the-wire behaviour as one forked at pool start.  Under spawn
+# (no inherited memory) workers rebuild from the picklable config; both
+# constructions are the same pure function of the config, so behaviour
+# is identical either way.
 
 _WORKER_ARGS: tuple | None = None
 _WORKER_SUBSTRATE: SimulationSubstrate | None = None
 _WORKER_TELEMETRY: bool = False
+_WORKER_COLUMNAR: bool = True
+#: Set (then cleared) by :func:`run_simulation_parallel` around pool
+#: creation so fork-children inherit the already-built substrate.
+_PARENT_SUBSTRATE: SimulationSubstrate | None = None
 
 
 def _init_worker(
-    config: SimulationConfig, extra_bots_factory, collect_telemetry: bool = False
+    config: SimulationConfig,
+    extra_bots_factory,
+    collect_telemetry: bool = False,
+    columnar_ipc: bool = True,
 ) -> None:
-    global _WORKER_ARGS, _WORKER_SUBSTRATE, _WORKER_TELEMETRY
+    global _WORKER_ARGS, _WORKER_SUBSTRATE, _WORKER_TELEMETRY, _WORKER_COLUMNAR
     _WORKER_ARGS = (config, extra_bots_factory)
-    _WORKER_SUBSTRATE = None
+    _WORKER_SUBSTRATE = _PARENT_SUBSTRATE
     _WORKER_TELEMETRY = collect_telemetry
+    _WORKER_COLUMNAR = columnar_ipc
     # Under the fork start method the child inherits the parent's
     # active registry; clear it so shard metrics are strictly
     # shard-local (each task enables its own fresh registry).
@@ -228,6 +264,7 @@ def _run_shard(
             with telemetry.span("sim.day"):
                 simulate_day(substrate, day, deliver)
             collector.end_of_day()
+            channel.flush_telemetry()
     telemetry_export = None
     if registry is not None:
         telemetry.disable()
@@ -240,10 +277,18 @@ def _run_shard(
             - base_counters.get(honeypot.honeypot_id, 0)
         )
     }
+    sessions: list[SessionRecord] | ColumnBatch = collector.sessions
+    dead_letters: list[SessionRecord] | ColumnBatch = collector.dead_letters
+    if _WORKER_COLUMNAR:
+        # Encode on the worker side so the expensive part of IPC — the
+        # per-record pickling of object graphs — becomes a handful of
+        # flat buffer pickles, and the encode cost itself parallelizes.
+        sessions = ColumnBatch.from_records(sessions)
+        dead_letters = ColumnBatch.from_records(dead_letters)
     return ShardOutput(
         index=index,
-        sessions=collector.sessions,
-        dead_letters=collector.dead_letters,
+        sessions=sessions,
+        dead_letters=dead_letters,
         counters={key: getattr(collector, key) for key in COUNTER_KEYS},
         channel_stats=asdict(channel.stats),
         handled=handled,
@@ -337,6 +382,7 @@ def _execute_shard(
         with telemetry.span("sim.day"):
             simulate_day(substrate, day, deliver)
         collector.end_of_day()
+        channel.flush_telemetry()
     handled = {
         honeypot.honeypot_id: delta
         for honeypot in substrate.honeynet.honeypots
@@ -545,64 +591,90 @@ def run_simulation_parallel(
         parent_registry.gauge("parallel.workers", workers)
         parent_registry.count("parallel.shards", len(shards))
 
-    with telemetry.span("parallel.run"), ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=pool_context(),
-        initializer=_init_worker,
-        initargs=(config, extra_bots_factory, parent_registry is not None),
-    ) as pool:
-        # Phase 1: count arrivals for every shard but the last (the
-        # last shard's counts are never needed as an offset).
-        count_futures: list[Future | None] = [
-            _submit(pool, _count_shard, shard.iso_span)
-            for shard in shards[:-1]
-        ]
-        # Phase 2: simulate each shard with prefix-summed counters.
-        run_futures: list[Future | None] = []
-        tasks: list[tuple[int, str, str, dict[str, int], int]] = []
-        offsets = dict(base_counters)
-        for shard in shards:
-            task = (shard.index, *shard.iso_span, dict(offsets), 0)
-            tasks.append(task)
-            run_futures.append(_submit(pool, _run_shard, task))
-            if shard.index < len(count_futures):
-                _add_counts(
-                    offsets,
-                    _settle_counts(
-                        substrate, shard, count_futures[shard.index]
-                    ),
+    global _PARENT_SUBSTRATE
+    _PARENT_SUBSTRATE = substrate
+    try:
+        with telemetry.span("parallel.run"), ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=pool_context(),
+            initializer=_init_worker,
+            initargs=(
+                config,
+                extra_bots_factory,
+                parent_registry is not None,
+                COLUMNAR_IPC,
+            ),
+        ) as pool:
+            # Phase 1: count arrivals for every shard but the last (the
+            # last shard's counts are never needed as an offset).
+            count_futures: list[Future | None] = [
+                _submit(pool, _count_shard, shard.iso_span)
+                for shard in shards[:-1]
+            ]
+            # Phase 2: simulate each shard with prefix-summed counters.
+            run_futures: list[Future | None] = []
+            tasks: list[tuple[int, str, str, dict[str, int], int]] = []
+            offsets = dict(base_counters)
+            for shard in shards:
+                task = (shard.index, *shard.iso_span, dict(offsets), 0)
+                tasks.append(task)
+                run_futures.append(_submit(pool, _run_shard, task))
+                if shard.index < len(count_futures):
+                    _add_counts(
+                        offsets,
+                        _settle_counts(
+                            substrate, shard, count_futures[shard.index]
+                        ),
+                    )
+            # Merge in shard order: concatenation reproduces the serial
+            # ingestion order, so the merged collector is byte-identical.
+            for shard, future in zip(shards, run_futures):
+                output: ShardOutput = _settle_shard(
+                    pool, substrate, shard, tasks[shard.index], future,
+                    deadline,
                 )
-        # Merge in shard order: concatenation reproduces the serial
-        # ingestion order, so the merged collector is byte-identical.
-        for shard, future in zip(shards, run_futures):
-            output: ShardOutput = _settle_shard(
-                pool, substrate, shard, tasks[shard.index], future, deadline
-            )
-            collector.absorb(
-                output.sessions, output.dead_letters, output.counters
-            )
-            if parent_registry is not None and output.telemetry is not None:
-                parent_registry.merge_export(output.telemetry)
-            for key, value in output.channel_stats.items():
-                setattr(
-                    merged_stats, key, getattr(merged_stats, key) + value
-                )
-            _add_counts(cumulative, output.handled)
-            days_since_checkpoint += shard.days
-            final_shard = shard.index == len(shards) - 1
-            if checkpoint_path is not None and (
-                days_since_checkpoint >= checkpoint_every_days
-                or (final_shard and stopping)
-            ):
-                substrate.set_honeypot_counters(cumulative)
-                save_checkpoint(
-                    checkpoint_path, config, shard.next_day,
-                    honeynet, collector, corruptor=corruptor,
-                )
-                telemetry.count("checkpoint.saves")
-                days_since_checkpoint = 0
-                last_saved = shard.end
-                logger.debug("checkpointed through %s", shard.end)
+                if isinstance(output.sessions, ColumnBatch):
+                    if parent_registry is not None:
+                        parent_registry.count(
+                            "parallel.ipc_columnar_bytes",
+                            output.sessions.nbytes
+                            + output.dead_letters.nbytes,
+                        )
+                    collector.absorb_batch(
+                        output.sessions, output.dead_letters, output.counters
+                    )
+                else:
+                    collector.absorb(
+                        output.sessions, output.dead_letters, output.counters
+                    )
+                if parent_registry is not None and output.telemetry is not None:
+                    parent_registry.merge_export(output.telemetry)
+                for key, value in output.channel_stats.items():
+                    setattr(
+                        merged_stats, key, getattr(merged_stats, key) + value
+                    )
+                # The folded deliveries were already counted (shard
+                # registry, or inline during serial fallback) — the
+                # parent channel's final flush must not re-emit them.
+                channel.mark_telemetry_flushed()
+                _add_counts(cumulative, output.handled)
+                days_since_checkpoint += shard.days
+                final_shard = shard.index == len(shards) - 1
+                if checkpoint_path is not None and (
+                    days_since_checkpoint >= checkpoint_every_days
+                    or (final_shard and stopping)
+                ):
+                    substrate.set_honeypot_counters(cumulative)
+                    save_checkpoint(
+                        checkpoint_path, config, shard.next_day,
+                        honeynet, collector, corruptor=corruptor,
+                    )
+                    telemetry.count("checkpoint.saves")
+                    days_since_checkpoint = 0
+                    last_saved = shard.end
+                    logger.debug("checkpointed through %s", shard.end)
+    finally:
+        _PARENT_SUBSTRATE = None
 
     substrate.set_honeypot_counters(cumulative)
     if stopping:

@@ -53,6 +53,29 @@ class RngTree:
         """Return a fresh ``random.Random`` for this node."""
         return random.Random(self.seed)
 
+    def rand_for(self, *names: object) -> random.Random:
+        """Return ``child(*names).rand()`` without building the child node.
+
+        The hot-path twin of :meth:`child` + :meth:`rand`: seed
+        derivation is identical (one SHA-256 over the concatenated
+        path), but no intermediate ``RngTree`` or path tuple of strings
+        is allocated.  Used for per-record streams (transport retry
+        jitter, admission coin flips) where the allocation shows up in
+        profiles.
+        """
+        return random.Random(derive_seed(self._seed, *self._path, *names))
+
+    def coin(self, *names: object) -> float:
+        """One deterministic float in ``[0, 1)`` from the child stream.
+
+        Exactly ``child(*names).rand().random()`` — the first draw of
+        the derived stream — with the intermediate allocations of
+        :meth:`rand_for` skipped too.
+        """
+        return random.Random(
+            derive_seed(self._seed, *self._path, *names)
+        ).random()
+
     def randint(self, low: int, high: int) -> int:
         """Convenience: one deterministic integer in ``[low, high]``."""
         return self.rand().randint(low, high)
@@ -66,6 +89,34 @@ class RngTree:
         if not items:
             raise IndexError("cannot choose from an empty sequence")
         return self.rand().choice(items)
+
+
+def batched_random(rng: random.Random, n: int) -> list[float]:
+    """Draw ``n`` floats from ``rng`` in one pass.
+
+    Sequence-equivalent to ``[rng.random() for _ in range(n)]`` — the
+    generator state advances identically — but the method is bound once,
+    which matters when the day loop batches thousands of draws.
+    """
+    draw = rng.random
+    return [draw() for _ in range(n)]
+
+
+def batched_uniform(
+    rng: random.Random, n: int, low: float, high: float
+) -> list[float]:
+    """Draw ``n`` uniforms in ``[low, high)``; sequence-equivalent to
+    ``[rng.uniform(low, high) for _ in range(n)]``."""
+    draw = rng.random
+    span = high - low
+    return [low + draw() * span for _ in range(n)]
+
+
+def batched_randrange(rng: random.Random, n: int, stop: int) -> list[int]:
+    """Draw ``n`` integers in ``[0, stop)``; sequence-equivalent to
+    ``[rng.randrange(stop) for _ in range(n)]``."""
+    draw = rng.randrange
+    return [draw(stop) for _ in range(n)]
 
 
 def poisson(rng: random.Random, lam: float) -> int:
