@@ -22,7 +22,14 @@ log corruption + worker crashes):
    flood preset — serial vs parallel digests and the shed ledger must
    be identical, the extended conservation law must balance with
    `shed > 0`, and a watchdog-armed run (generous shard deadline) must
-   reproduce the same bytes.
+   reproduce the same bytes;
+7. a long-corpus LSH recall leg: the exact DLD matrix over a
+   `--lsh-corpus`-sized synthetic corpus is the oracle for a
+   recall-vs-candidate-ratio sweep across LSH band counts — every
+   measured sketch entry must equal the exact value bit for bit, and
+   the shipped default config must hold ≥ 0.99 close-pair recall at a
+   < 0.25 candidate ratio (the tuning claim in
+   `repro.analysis.sketch` made falsifiable nightly).
 
 Exit code 0 only when every check holds.  Designed for the scheduled
 `soak` workflow but runnable locally:
@@ -40,6 +47,8 @@ import tempfile
 from datetime import date
 from pathlib import Path
 
+import numpy as np
+
 from repro import telemetry
 from repro.attackers.orchestrator import run_simulation
 from repro.config import SimulationConfig
@@ -52,6 +61,15 @@ from repro.util.rng import RngTree
 #: A window long enough to cross the paper outage and several churn
 #: events, short enough for a nightly job.
 SOAK_WINDOW = dict(start=date(2023, 8, 1), end=date(2023, 11, 15))
+
+#: Normalized DLD below which a pair counts as "close" for the LSH
+#: recall sweep — matches the bench leg (`repro bench --sketch-sample`).
+LSH_CLOSE_THRESHOLD = 0.3
+
+#: Floors the *default* sketch config must hold on the long corpus
+#: (the tuning claim documented on `DEFAULT_SKETCH_CONFIG`).
+LSH_RECALL_FLOOR = 0.99
+LSH_RATIO_BAR = 0.25
 
 
 def fail(message: str) -> None:
@@ -241,6 +259,62 @@ def check_index_resilience(serial, work: Path) -> None:
             fail(f"post-repair tree still not serving from the index ({mode})")
 
 
+def check_lsh_recall(seed: int, corpus_size: int) -> None:
+    """LSH leg: recall-vs-ratio sweep on a long synthetic corpus, with
+    the exact DLD matrix as the oracle.  Every measured sketch entry
+    must equal the exact value bit for bit for *every* band count; the
+    shipped default must additionally hold the recall/ratio floors."""
+    from repro.analysis.distance import distance_matrix
+    from repro.analysis.sketch import (
+        DEFAULT_SKETCH_CONFIG,
+        SketchConfig,
+        clear_sketch_caches,
+        sketch_distance_matrix,
+        synthetic_token_corpus,
+    )
+
+    corpus = synthetic_token_corpus(corpus_size, seed=seed)
+    exact = distance_matrix(corpus, workers=4)
+    upper = np.triu_indices(len(corpus), k=1)
+    close = exact[upper] <= LSH_CLOSE_THRESHOLD
+    total_close = int(close.sum())
+    print(
+        f"lsh recall: {len(corpus)} sequences, {total_close} close pairs "
+        f"(DLD <= {LSH_CLOSE_THRESHOLD})"
+    )
+    for bands in (16, 32, 64):
+        config = SketchConfig(
+            num_perm=DEFAULT_SKETCH_CONFIG.num_perm,
+            bands=bands,
+            shingle_size=DEFAULT_SKETCH_CONFIG.shingle_size,
+            min_sequences=0,
+        )
+        clear_sketch_caches()
+        approx = sketch_distance_matrix(corpus, config=config, workers=4)
+        measured = ~approx.pruned[upper]
+        recall = float(measured[close].mean()) if total_close else 1.0
+        is_default = bands == DEFAULT_SKETCH_CONFIG.bands
+        print(
+            f"  bands={bands}: candidate_ratio={approx.candidate_ratio:.3f} "
+            f"close_recall={recall:.4f}{' (default)' if is_default else ''}"
+        )
+        if not np.array_equal(exact[~approx.pruned], approx.values[~approx.pruned]):
+            fail(f"measured sketch entries diverged from exact at bands={bands}")
+        if not np.all(approx.values[approx.pruned] >= exact[approx.pruned]):
+            fail(f"a pruned entry is not an upper bound at bands={bands}")
+        if is_default:
+            if recall < LSH_RECALL_FLOOR:
+                fail(
+                    f"default config close-pair recall {recall:.4f} below "
+                    f"{LSH_RECALL_FLOOR}"
+                )
+            if approx.candidate_ratio >= LSH_RATIO_BAR:
+                fail(
+                    f"default config candidate ratio "
+                    f"{approx.candidate_ratio:.3f} at/above {LSH_RATIO_BAR}"
+                )
+
+
 def check_mangled_tree_fails(serial, work: Path) -> None:
     mangled_dir = work / "mangled"
     mangled_dir.mkdir()
@@ -260,6 +334,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--keep", type=Path, default=None, metavar="DIR",
         help="keep work artifacts in DIR instead of a temp directory",
+    )
+    parser.add_argument(
+        "--lsh-corpus", type=int, default=2500, metavar="N",
+        help="synthetic corpus size for the LSH recall sweep (0 skips it)",
     )
     args = parser.parse_args(argv)
 
@@ -282,6 +360,8 @@ def main(argv: list[str] | None = None) -> int:
         check_index_resilience(serial, work)
         check_mangled_tree_fails(serial, work)
         check_flood_overload(config)
+        if args.lsh_corpus:
+            check_lsh_recall(args.seed, args.lsh_corpus)
     finally:
         if args.keep is None:
             shutil.rmtree(work, ignore_errors=True)

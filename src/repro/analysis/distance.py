@@ -9,7 +9,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.analysis.dld import damerau_levenshtein, dld_bounds
-from repro.analysis.tokenizer import normalize_tokens, tokenize_session
+from repro.analysis.tokenizer import DEFAULT_TOKENIZER, TokenizerConfig
 from repro.honeypot.session import SessionRecord
 
 
@@ -18,10 +18,11 @@ from repro.honeypot.session import SessionRecord
 #: dominating runtime while preserving their behavioural prefix.
 MAX_TOKENS_PER_SESSION = 120
 
-#: Distinct (session, cap) entries kept in the tokenization cache.
-#: Sessions are tokenized by several call sites (the clustering, the
-#: tokenizer ablation, Figure 14); caching by session id makes the
-#: work happen once per session, not once per call site.
+#: Distinct (fingerprint, session, cap) entries kept in the
+#: tokenization cache.  Sessions are tokenized by several call sites
+#: (the clustering, the tokenizer ablation, Figure 14); caching by
+#: session id makes the work happen once per session, not once per
+#: call site.
 TOKEN_CACHE_LIMIT = 250_000
 
 #: Distinct sequence pairs kept in the DLD pair cache.  Figures 5, 6
@@ -29,7 +30,7 @@ TOKEN_CACHE_LIMIT = 250_000
 #: pair sets; the cache collapses those repeats to dictionary lookups.
 PAIR_CACHE_SIZE = 1 << 17
 
-_token_cache: dict[tuple[str, int], list[str]] = {}
+_token_cache: dict[tuple[str, str, int], list[str]] = {}
 
 
 def clear_distance_caches() -> None:
@@ -39,31 +40,40 @@ def clear_distance_caches() -> None:
 
 
 def session_tokens(
-    sessions: list[SessionRecord], max_tokens: int = MAX_TOKENS_PER_SESSION
+    sessions: list[SessionRecord],
+    max_tokens: int = MAX_TOKENS_PER_SESSION,
+    tokenizer: TokenizerConfig = DEFAULT_TOKENIZER,
 ) -> list[list[str]]:
-    """Normalized (and length-capped) token sequences, one per session.
+    """Tokenizer-variant (and length-capped) token sequences per session.
 
-    Tokenization is hoisted behind a per-session cache keyed by session
-    id: repeated calls over the same sessions (the clustering and every
-    figure that re-tokenizes its sample) pay the regex pipeline once.
-    The returned lists are shared with the cache — treat them as
-    read-only.
+    Tokenization is hoisted behind a per-session cache keyed by
+    ``(tokenizer fingerprint, session id, cap)``: repeated calls over
+    the same sessions (the clustering and every figure that
+    re-tokenizes its sample) pay the regex pipeline once, while two
+    tokenizer configurations in one process — the normalization
+    ablation, a future weighting variant — can never serve each
+    other's entries, even without an intervening
+    :func:`clear_distance_caches`.  The returned lists are shared with
+    the cache — treat them as read-only.
     """
     if len(_token_cache) > TOKEN_CACHE_LIMIT:
         _token_cache.clear()
+    fingerprint = tokenizer.fingerprint
     result: list[list[str]] = []
     for session in sessions:
-        key = (session.session_id, max_tokens)
+        key = (fingerprint, session.session_id, max_tokens)
         tokens = _token_cache.get(key)
         if tokens is None:
-            tokens = normalize_tokens(tokenize_session(session))[:max_tokens]
+            tokens = tokenizer.tokenize(session)[:max_tokens]
             _token_cache[key] = tokens
         result.append(tokens)
     return result
 
 
 @lru_cache(maxsize=PAIR_CACHE_SIZE)
-def _cached_pair_distance(a: tuple[str, ...], b: tuple[str, ...]) -> float:
+def _cached_pair_distance(
+    fingerprint: str, a: tuple[str, ...], b: tuple[str, ...]
+) -> float:
     lower, upper = dld_bounds(a, b)
     if upper == 0:
         return 0.0
@@ -73,22 +83,68 @@ def _cached_pair_distance(a: tuple[str, ...], b: tuple[str, ...]) -> float:
     return damerau_levenshtein(a, b) / upper
 
 
-def pair_distance(a: tuple[str, ...], b: tuple[str, ...]) -> float:
+def pair_distance(
+    a: tuple[str, ...],
+    b: tuple[str, ...],
+    fingerprint: str = DEFAULT_TOKENIZER.fingerprint,
+) -> float:
     """Normalized DLD between two token tuples, LRU-cached.
 
     The cache key is order-canonical (DLD is symmetric), identical
     tuples short-circuit to 0.0, and the length-difference lower bound
-    skips the DP whenever it already equals the upper bound.
+    skips the DP whenever it already equals the upper bound.  Entries
+    are additionally keyed by the tokenizer fingerprint that produced
+    the tuples, so a cache warmed under one tokenizer configuration is
+    never consulted by another (the value is a pure function of the
+    tuples today, but the keying keeps that an implementation detail
+    rather than a cross-config coupling).
     """
     if a == b:
         return 0.0
     if b < a:
         a, b = b, a
-    return _cached_pair_distance(a, b)
+    return _cached_pair_distance(fingerprint, a, b)
+
+
+def exact_compact_matrix(
+    distinct: list[tuple[str, ...]],
+    workers: int = 1,
+    fingerprint: str = DEFAULT_TOKENIZER.fingerprint,
+) -> np.ndarray:
+    """The exact m×m matrix over *distinct* sequences (the oracle core).
+
+    Shared by the exact pipeline and the sketch path's below-floor
+    bypass, so "exact mode" is one code path with one set of bits.
+    ``workers > 1`` chunks the upper triangle over a process pool when
+    the pair count justifies it; the result is identical either way.
+    """
+    m = len(distinct)
+    total_pairs = m * (m - 1) // 2
+    if workers > 1:
+        from repro.parallel.distance import (
+            MIN_PAIRS_FOR_POOL,
+            compact_distance_matrix_parallel,
+        )
+
+        if total_pairs >= MIN_PAIRS_FOR_POOL:
+            return compact_distance_matrix_parallel(
+                distinct, workers, fingerprint=fingerprint
+            )
+    compact = np.zeros((m, m), dtype=np.float64)
+    for i in range(m):
+        for j in range(i + 1, m):
+            value = pair_distance(distinct[i], distinct[j], fingerprint)
+            compact[i, j] = value
+            compact[j, i] = value
+    return compact
 
 
 def distance_matrix(
-    token_sequences: list[list[str]], workers: int = 1
+    token_sequences: list[list[str]],
+    workers: int = 1,
+    mode: str = "exact",
+    sketch=None,
+    tokenizer: TokenizerConfig = DEFAULT_TOKENIZER,
 ) -> np.ndarray:
     """Symmetric normalized-DLD matrix (zeros on the diagonal).
 
@@ -97,12 +153,32 @@ def distance_matrix(
     heavily repetitive, which makes this the difference between seconds
     and hours at realistic sample sizes.
 
-    ``workers > 1`` evaluates the deduplicated upper triangle in chunks
-    on a process pool (:mod:`repro.parallel.distance`); every pair is
-    the same pure function either way, so the matrix is identical at
-    any worker count.  Tiny inputs fall back to serial — the pool costs
-    more than the DP below a few hundred pairs.
+    ``mode="exact"`` (the default) computes every distinct pair — the
+    differential oracle.  ``mode="lsh"`` routes through the
+    MinHash/LSH candidate prefilter (:mod:`repro.analysis.sketch`):
+    only candidate-bucket pairs (plus bounds-pinned pairs) pay the
+    O(len²) DP, pruned pairs hold a sound upper bound, and below the
+    sketch activation floor the result is the exact matrix bit for
+    bit.  Pass ``sketch=SketchConfig(...)`` to override the prefilter
+    parameters.
+
+    ``workers > 1`` evaluates the pair work in chunks on a process
+    pool (:mod:`repro.parallel.distance`); every pair is the same pure
+    function either way, so the matrix is identical at any worker
+    count.  Tiny inputs fall back to serial — the pool costs more than
+    the DP below a few hundred pairs.
     """
+    if mode == "lsh":
+        from repro.analysis.sketch import (
+            DEFAULT_SKETCH_CONFIG,
+            sketch_distance_matrix,
+        )
+
+        return sketch_distance_matrix(
+            token_sequences, sketch or DEFAULT_SKETCH_CONFIG, workers=workers
+        ).values
+    if mode != "exact":
+        raise ValueError(f"unknown distance mode: {mode!r}")
     with telemetry.span("dld.matrix"):
         keys = [tuple(seq) for seq in token_sequences]
         distinct: list[tuple[str, ...]] = []
@@ -119,22 +195,9 @@ def distance_matrix(
             registry.count("dld.sequences", len(keys))
             registry.count("dld.distinct_sequences", m)
             registry.count("dld.pairs", total_pairs)
-        if workers > 1:
-            from repro.parallel.distance import (
-                MIN_PAIRS_FOR_POOL,
-                compact_distance_matrix_parallel,
-            )
-
-            if total_pairs >= MIN_PAIRS_FOR_POOL:
-                compact = compact_distance_matrix_parallel(distinct, workers)
-                mapping = np.array([index_of[key] for key in keys])
-                return compact[np.ix_(mapping, mapping)]
-        compact = np.zeros((m, m), dtype=np.float64)
-        for i in range(m):
-            for j in range(i + 1, m):
-                value = pair_distance(distinct[i], distinct[j])
-                compact[i, j] = value
-                compact[j, i] = value
+        compact = exact_compact_matrix(
+            distinct, workers, fingerprint=tokenizer.fingerprint
+        )
         mapping = np.array([index_of[key] for key in keys])
         return compact[np.ix_(mapping, mapping)]
 

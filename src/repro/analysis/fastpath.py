@@ -1,0 +1,223 @@
+"""TF-IDF → logistic-regression fast path beside the regex rules.
+
+The 59-rule regex classifier (:mod:`repro.analysis.regexrules`) scans
+up to 58 patterns per session; the streaming service needs an O(1)
+answer per session after a one-time training pass.  Following the
+Honeypot v2.03 idiom (SNIPPETS.md §1), this module trains a TF-IDF →
+multinomial logistic regression model *against the regex classifier as
+teacher*: the rules stay the ground truth, the model is a cheap
+approximation whose fidelity is continuously measured by
+:func:`agreement_report` (and pinned in tests/test_regexrules.py).
+
+Implementation notes — the container ships no scikit-learn, so both
+stages are small, deterministic numpy:
+
+* TF-IDF over word unigrams of the session command text, vocabulary
+  capped by document frequency, smoothed idf (``ln((1+n)/(1+df)) + 1``),
+  L2-normalized rows.
+* Multinomial (softmax) regression trained by full-batch gradient
+  descent from zero initialization — no sampling, no shuffling, so
+  training is bit-deterministic for a given corpus.
+
+Telemetry: ``fastpath.trained``, ``fastpath.classified``,
+``fastpath.agreement`` (gauge, fraction agreeing with the rules).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.analysis.classify import DEFAULT_CLASSIFIER, CommandClassifier
+from repro.honeypot.session import SessionRecord
+
+#: Word-unigram token pattern for the featurizer (distinct from the
+#: clustering tokenizer on purpose: classification wants words, not
+#: shell-operator structure).
+_WORD_PATTERN = re.compile(r"[A-Za-z0-9_\-./:<>+]+")
+
+#: Vocabulary cap — the most document-frequent terms up to this many.
+MAX_VOCABULARY = 2000
+
+#: Training epochs / learning rate for the full-batch softmax GD.
+TRAIN_EPOCHS = 300
+LEARNING_RATE = 1.0
+
+
+def _terms(text: str) -> list[str]:
+    return _WORD_PATTERN.findall(text.lower())
+
+
+@dataclass
+class TfidfVocabulary:
+    """Fitted vocabulary: term → column, with idf weights."""
+
+    terms: list[str]
+    idf: np.ndarray = field(repr=False)
+
+    @property
+    def index(self) -> dict[str, int]:
+        cached = getattr(self, "_index", None)
+        if cached is None:
+            cached = {term: i for i, term in enumerate(self.terms)}
+            object.__setattr__(self, "_index", cached)
+        return cached
+
+
+def fit_vocabulary(texts: list[str]) -> TfidfVocabulary:
+    """Document-frequency-capped vocabulary with smoothed idf."""
+    df: dict[str, int] = {}
+    for text in texts:
+        for term in set(_terms(text)):
+            df[term] = df.get(term, 0) + 1
+    # Deterministic cap: highest document frequency first, ties by term.
+    ranked = sorted(df.items(), key=lambda item: (-item[1], item[0]))
+    kept = [term for term, _ in ranked[:MAX_VOCABULARY]]
+    kept.sort()
+    n = len(texts)
+    idf = np.array(
+        [np.log((1 + n) / (1 + df[term])) + 1.0 for term in kept],
+        dtype=np.float64,
+    )
+    return TfidfVocabulary(terms=kept, idf=idf)
+
+
+def featurize(texts: list[str], vocabulary: TfidfVocabulary) -> np.ndarray:
+    """L2-normalized TF-IDF matrix, one row per text."""
+    index = vocabulary.index
+    matrix = np.zeros((len(texts), len(vocabulary.terms)), dtype=np.float64)
+    for row, text in enumerate(texts):
+        for term in _terms(text):
+            column = index.get(term)
+            if column is not None:
+                matrix[row, column] += 1.0
+    matrix *= vocabulary.idf[np.newaxis, :]
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    np.divide(matrix, norms, out=matrix, where=norms > 0)
+    return matrix
+
+
+def _train_softmax(
+    features: np.ndarray, labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Full-batch softmax regression weights, (features+1) × classes."""
+    n, d = features.shape
+    x = np.hstack([features, np.ones((n, 1))])
+    weights = np.zeros((d + 1, n_classes), dtype=np.float64)
+    one_hot = np.zeros((n, n_classes), dtype=np.float64)
+    one_hot[np.arange(n), labels] = 1.0
+    for _ in range(TRAIN_EPOCHS):
+        logits = x @ weights
+        logits -= logits.max(axis=1, keepdims=True)
+        np.exp(logits, out=logits)
+        logits /= logits.sum(axis=1, keepdims=True)
+        gradient = x.T @ (logits - one_hot) / n
+        weights -= LEARNING_RATE * gradient
+    return weights
+
+
+@dataclass
+class AgreementReport:
+    """How often the fast path matches the regex teacher."""
+
+    total: int
+    agreeing: int
+    disagreements: list[tuple[str, str, str]]  # (text, rules, fastpath)
+
+    @property
+    def agreement(self) -> float:
+        return self.agreeing / self.total if self.total else 1.0
+
+    def render(self, limit: int = 20) -> str:
+        """Readable summary — dumped as the artifact on test failure."""
+        lines = [
+            f"fast-path agreement: {self.agreeing}/{self.total} "
+            f"({self.agreement:.1%})",
+        ]
+        for text, expected, got in self.disagreements[:limit]:
+            snippet = text if len(text) <= 100 else text[:97] + "..."
+            lines.append(f"  rules={expected!r} fastpath={got!r}: {snippet}")
+        hidden = len(self.disagreements) - limit
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more disagreements")
+        return "\n".join(lines)
+
+
+class FastPathClassifier:
+    """Trained TF-IDF → softmax-regression session classifier.
+
+    Build with :meth:`train`; ``classify_text`` / ``classify`` mirror
+    :class:`~repro.analysis.classify.CommandClassifier` so the two are
+    drop-in interchangeable at call sites.
+    """
+
+    def __init__(
+        self,
+        vocabulary: TfidfVocabulary,
+        weights: np.ndarray,
+        classes: list[str],
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.weights = weights
+        self.classes = classes
+
+    @classmethod
+    def train(
+        cls,
+        sessions: list[SessionRecord],
+        teacher: CommandClassifier = DEFAULT_CLASSIFIER,
+    ) -> "FastPathClassifier":
+        """Fit against the regex teacher's labels on these sessions."""
+        with telemetry.span("fastpath.train"):
+            texts = [session.command_text for session in sessions]
+            teacher_labels = [teacher.classify_text(text) for text in texts]
+            classes = sorted(set(teacher_labels))
+            class_index = {name: i for i, name in enumerate(classes)}
+            labels = np.array(
+                [class_index[label] for label in teacher_labels],
+                dtype=np.int64,
+            )
+            vocabulary = fit_vocabulary(texts)
+            features = featurize(texts, vocabulary)
+            weights = _train_softmax(features, labels, len(classes))
+            telemetry.count("fastpath.trained")
+            return cls(vocabulary, weights, classes)
+
+    def classify_text(self, text: str) -> str:
+        """Category of one command string (argmax class score)."""
+        telemetry.count("fastpath.classified")
+        features = featurize([text], self.vocabulary)
+        logits = np.hstack([features, np.ones((1, 1))]) @ self.weights
+        return self.classes[int(np.argmax(logits[0]))]
+
+    def classify(self, session: SessionRecord) -> str:
+        return self.classify_text(session.command_text)
+
+
+def agreement_report(
+    fastpath: FastPathClassifier,
+    sessions: list[SessionRecord],
+    teacher: CommandClassifier = DEFAULT_CLASSIFIER,
+) -> AgreementReport:
+    """Compare the fast path against the regex rules on real sessions."""
+    with telemetry.span("fastpath.agreement"):
+        disagreements: list[tuple[str, str, str]] = []
+        agreeing = 0
+        for session in sessions:
+            text = session.command_text
+            expected = teacher.classify_text(text)
+            got = fastpath.classify_text(text)
+            if expected == got:
+                agreeing += 1
+            else:
+                disagreements.append((text, expected, got))
+        report = AgreementReport(
+            total=len(sessions),
+            agreeing=agreeing,
+            disagreements=disagreements,
+        )
+        telemetry.gauge("fastpath.agreement", report.agreement)
+        return report

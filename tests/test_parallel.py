@@ -266,17 +266,25 @@ class TestTokenizeOnce:
             for index in range(count)
         ]
 
-    def test_repeated_calls_tokenize_each_session_once(self, monkeypatch):
-        import repro.analysis.distance as distance_module
+    @staticmethod
+    def count_tokenizations(monkeypatch):
+        """Instrument ``TokenizerConfig.tokenize`` (the cache's miss
+        path) and return the list of session ids it was called for."""
+        from repro.analysis.tokenizer import TokenizerConfig
 
-        clear_distance_caches()
         calls = []
-        real = distance_module.tokenize_session
+        real = TokenizerConfig.tokenize
         monkeypatch.setattr(
-            distance_module,
-            "tokenize_session",
-            lambda session: calls.append(session.session_id) or real(session),
+            TokenizerConfig,
+            "tokenize",
+            lambda self, session: calls.append(session.session_id)
+            or real(self, session),
         )
+        return calls
+
+    def test_repeated_calls_tokenize_each_session_once(self, monkeypatch):
+        clear_distance_caches()
+        calls = self.count_tokenizations(monkeypatch)
         sessions = self.make_sessions(5)
         first = session_tokens(sessions)
         second = session_tokens(sessions)
@@ -285,16 +293,8 @@ class TestTokenizeOnce:
         clear_distance_caches()
 
     def test_different_caps_are_cached_separately(self, monkeypatch):
-        import repro.analysis.distance as distance_module
-
         clear_distance_caches()
-        calls = []
-        real = distance_module.tokenize_session
-        monkeypatch.setattr(
-            distance_module,
-            "tokenize_session",
-            lambda session: calls.append(session.session_id) or real(session),
-        )
+        calls = self.count_tokenizations(monkeypatch)
         sessions = self.make_sessions(3)
         session_tokens(sessions, max_tokens=10)
         session_tokens(sessions, max_tokens=20)
