@@ -29,12 +29,22 @@ log corruption + worker crashes):
    measured sketch entry must equal the exact value bit for bit, and
    the shipped default config must hold ≥ 0.99 close-pair recall at a
    < 0.25 candidate ratio (the tuning claim in
-   `repro.analysis.sketch` made falsifiable nightly).
+   `repro.analysis.sketch` made falsifiable nightly);
+8. a stream-chaos leg: the supervised stream engine under elevated
+   stream faults (`chaos` preset) on top of the storm flood — two runs
+   of the same seed must produce identical digests *and* identical
+   breaker/mode-ladder timelines, the conservation ledger (including
+   the extended `admitted == stored + deduplicated` law) must balance,
+   a mid-run interrupt must resume to the same final digest, and a
+   fault-free supervised replay must stay byte-identical to batch.
 
-Exit code 0 only when every check holds.  Designed for the scheduled
-`soak` workflow but runnable locally:
+Every numbered item is a registered *leg* — `--only <leg>` runs one in
+isolation (see `--list-legs`).  Exit code 0 only when every executed
+check holds.  Designed for the scheduled `soak` workflow but runnable
+locally:
 
     PYTHONPATH=src python scripts/soak.py --scale 1e-4
+    PYTHONPATH=src python scripts/soak.py --only stream-chaos
 """
 
 from __future__ import annotations
@@ -44,8 +54,10 @@ import random
 import shutil
 import sys
 import tempfile
+from dataclasses import dataclass, field
 from datetime import date
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -75,6 +87,43 @@ LSH_RATIO_BAR = 0.25
 def fail(message: str) -> None:
     print(f"FAIL: {message}")
     raise SystemExit(1)
+
+
+@dataclass
+class SoakContext:
+    """Everything a soak leg may need, built once per invocation.
+
+    The serial reference run is expensive, so it is computed lazily —
+    `--only` runs of legs that never touch it skip it entirely.
+    """
+
+    config: SimulationConfig
+    work: Path
+    seed: int
+    lsh_corpus: int
+    _serial: object = field(default=None, repr=False)
+
+    @property
+    def serial(self):
+        if self._serial is None:
+            print("building serial reference run…")
+            self._serial = run_simulation(self.config)
+            print(f"serial digest: {self._serial.database.digest()}")
+        return self._serial
+
+
+#: Registered soak legs, in execution order: name -> leg(ctx).
+LEGS: dict[str, Callable[[SoakContext], None]] = {}
+
+
+def leg(name: str):
+    """Register a soak leg under ``name`` (addressable via ``--only``)."""
+
+    def register(fn: Callable[[SoakContext], None]):
+        LEGS[name] = fn
+        return fn
+
+    return register
 
 
 def check_parallel_equivalence(config: SimulationConfig, serial) -> None:
@@ -327,6 +376,96 @@ def check_mangled_tree_fails(serial, work: Path) -> None:
     print(f"mangled tree correctly rejected ({len(audit.unexplained())} findings)")
 
 
+def check_stream_chaos(config: SimulationConfig, work: Path) -> None:
+    """Stream leg: supervision under elevated stream faults must be a
+    pure function of the seed, conserve every record, survive a mid-run
+    interrupt, and collapse back to batch bytes when the faults are off."""
+    import dataclasses
+
+    from repro.faults.plan import FloodFaults
+    from repro.stream import StreamPolicy, run_stream
+
+    flood_config = config.replace(
+        faults=dataclasses.replace(
+            config.faults, flood=FloodFaults.from_name("storm")
+        )
+    )
+
+    first = run_stream(flood_config, policy=StreamPolicy.chaos())
+    report = first.stream
+    print(
+        f"stream chaos: mode={report.mode}, "
+        f"{len(report.transitions)} mode transitions, "
+        f"{report.stalls} stalls, {report.forced_drains} forced drains, "
+        f"{report.partition_replayed} partition replays, "
+        f"{report.analysis_errors} analysis errors, "
+        f"coverage {report.coverage_rate:.3f}, "
+        f"digest {first.database.digest()[:16]}…"
+    )
+    if not report.transitions:
+        fail("chaos preset never moved the degraded-mode ladder")
+    if report.ledger_days != report.days:
+        fail("rolling ledger did not audit every day boundary")
+    collector = first.collector
+    if not collector.accounting_balanced():
+        fail("stream chaos run's conservation accounting does not balance")
+    if collector.admitted != len(collector.sessions) + collector.deduplicated:
+        fail("admitted != stored + deduplicated under stream chaos")
+
+    again = run_stream(flood_config, policy=StreamPolicy.chaos())
+    if again.database.digest() != first.database.digest():
+        fail("same-seed stream chaos runs produced different digests")
+    if again.stream.transitions != report.transitions:
+        fail("same-seed stream chaos runs disagree on the mode timeline")
+    if again.stream.breaker_transitions != report.breaker_transitions:
+        fail("same-seed stream chaos runs disagree on breaker timelines")
+
+    checkpoint = work / "stream-chaos.ckpt"
+    run_stream(
+        flood_config, policy=StreamPolicy.chaos(),
+        checkpoint_path=checkpoint, checkpoint_every_days=14,
+        stop_after=date(2023, 10, 2),
+    )
+    resumed = run_stream(
+        flood_config, policy=StreamPolicy.chaos(),
+        checkpoint_path=checkpoint, resume=True,
+    )
+    print(
+        f"stream chaos resume: digest {resumed.database.digest()[:16]}…"
+    )
+    if resumed.database.digest() != first.database.digest():
+        fail("interrupted stream chaos run resumed to a different digest")
+    if resumed.collector.accounting() != collector.accounting():
+        fail("interrupted stream chaos run resumed to a different ledger")
+
+    batch = run_simulation(flood_config)
+    replay = run_stream(flood_config, policy=StreamPolicy.live())
+    if replay.database.digest() != batch.database.digest():
+        fail("fault-free supervised stream diverged from batch digest")
+    if replay.collector.accounting() != batch.collector.accounting():
+        fail("fault-free supervised stream diverged from batch accounting")
+    print("stream replay-vs-batch: digests identical")
+
+
+# ----------------------------------------------------------------------
+# leg registry (execution order == registration order)
+# ----------------------------------------------------------------------
+leg("parallel")(lambda ctx: check_parallel_equivalence(ctx.config, ctx.serial))
+leg("checkpoint")(
+    lambda ctx: check_checkpoint_recovery(ctx.config, ctx.serial, ctx.work)
+)
+leg("export")(lambda ctx: check_export_recovery(ctx.config, ctx.serial, ctx.work))
+leg("store")(lambda ctx: check_index_resilience(ctx.serial, ctx.work))
+leg("mangled")(lambda ctx: check_mangled_tree_fails(ctx.serial, ctx.work))
+leg("flood")(lambda ctx: check_flood_overload(ctx.config))
+leg("lsh")(
+    lambda ctx: check_lsh_recall(ctx.seed, ctx.lsh_corpus)
+    if ctx.lsh_corpus
+    else print("lsh leg skipped (--lsh-corpus 0)")
+)
+leg("stream-chaos")(lambda ctx: check_stream_chaos(ctx.config, ctx.work))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=33)
@@ -339,7 +478,20 @@ def main(argv: list[str] | None = None) -> int:
         "--lsh-corpus", type=int, default=2500, metavar="N",
         help="synthetic corpus size for the LSH recall sweep (0 skips it)",
     )
+    parser.add_argument(
+        "--only", choices=sorted(LEGS), default=None, metavar="LEG",
+        help="run a single leg instead of the full battery",
+    )
+    parser.add_argument(
+        "--list-legs", action="store_true",
+        help="print the registered legs and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_legs:
+        for name in LEGS:
+            print(name)
+        return 0
 
     config = SimulationConfig(
         seed=args.seed,
@@ -348,24 +500,21 @@ def main(argv: list[str] | None = None) -> int:
         **SOAK_WINDOW,
     )
     print(f"== soak: stress profile, seed={args.seed}, scale={args.scale} ==")
-    serial = run_simulation(config)
-    print(f"serial digest: {serial.database.digest()}")
 
     work = args.keep or Path(tempfile.mkdtemp(prefix="soak-"))
     work.mkdir(parents=True, exist_ok=True)
+    ctx = SoakContext(
+        config=config, work=work, seed=args.seed, lsh_corpus=args.lsh_corpus
+    )
+    selected = [args.only] if args.only else list(LEGS)
     try:
-        check_parallel_equivalence(config, serial)
-        check_checkpoint_recovery(config, serial, work)
-        check_export_recovery(config, serial, work)
-        check_index_resilience(serial, work)
-        check_mangled_tree_fails(serial, work)
-        check_flood_overload(config)
-        if args.lsh_corpus:
-            check_lsh_recall(args.seed, args.lsh_corpus)
+        for name in selected:
+            print(f"-- leg: {name} --")
+            LEGS[name](ctx)
     finally:
         if args.keep is None:
             shutil.rmtree(work, ignore_errors=True)
-    print("PASS: all soak checks held")
+    print(f"PASS: all soak checks held ({', '.join(selected)})")
     return 0
 
 

@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass
-from datetime import date, timedelta
+from dataclasses import dataclass, field
+from datetime import date
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.attackers.base import Bot, BotContext
 from repro.attackers.fleetplan import build_fleet
@@ -37,7 +37,6 @@ from repro.faults.checkpoint import (
     has_checkpoint,
     load_latest_checkpoint,
     restore_state,
-    save_checkpoint,
 )
 from repro.faults.corruption import build_checkpoint_corruptor
 from repro.faults.coverage import CoverageReport, build_coverage_report
@@ -57,7 +56,10 @@ from repro.net.whois import HistoricalWhois
 from repro.overload.admission import build_admission_controller
 from repro import telemetry
 from repro.util.rng import RngTree
-from repro.util.timeutils import days_between, month_key, to_epoch
+from repro.util.timeutils import to_epoch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.stream.engine import StreamReport
 
 logger = logging.getLogger("repro.simulation")
 
@@ -82,6 +84,9 @@ class SimulationResult:
     plan: FaultPlan
     coverage: CoverageReport
     channel: DirectChannel | ResilientChannel
+    #: Supervision summary when the run used a supervised stream policy
+    #: (:mod:`repro.stream`); None for batch replay and parallel runs.
+    stream: "StreamReport | None" = field(default=None)
 
 
 #: Signature of the optional fleet-extension hook.
@@ -449,14 +454,23 @@ def _resume_state(
     config: SimulationConfig,
     honeynet: Honeynet,
     collector: Collector,
+    stream_sink: list | None = None,
 ) -> date | None:
     """Restore the newest valid checkpoint generation, loudly.
 
-    Shared by the serial loop and the parallel engine.  Returns the
-    first day left to simulate, or ``None`` when no usable checkpoint
-    exists (the caller starts fresh).  Generations rejected as corrupt
-    are reported via warnings and ``checkpoint.*`` telemetry — a
-    corrupted checkpoint costs re-simulated days, never silence.
+    Shared by the stream engine (and thus the serial batch replay) and
+    the parallel engine.  Returns the first day left to simulate, or
+    ``None`` when no usable checkpoint exists (the caller starts
+    fresh).  Generations rejected as corrupt are reported via warnings
+    and ``checkpoint.*`` telemetry — a corrupted checkpoint costs
+    re-simulated days, never silence.
+
+    ``stream_sink``: a checkpoint written by a *degraded* supervised
+    stream carries a ``stream`` section; when a list is given here, the
+    restored section is appended to it so the caller can reinstate (or
+    refuse) the supervision state.  Callers that cannot reproduce
+    supervision (the parallel batch engine) must pass a sink and reject
+    a non-empty one.
     """
     if checkpoint_path is None:
         raise ValueError("resume=True requires a checkpoint_path")
@@ -476,6 +490,8 @@ def _resume_state(
         )
         return None
     first_day = restore_state(checkpoint, honeynet, collector)
+    if stream_sink is not None and checkpoint.stream:
+        stream_sink.append(checkpoint.stream)
     telemetry.count("checkpoint.resumes")
     if rejected:
         telemetry.count("checkpoint.recovered_resumes")
@@ -554,9 +570,11 @@ def run_simulation(
     simulated prefix.
 
     ``workers`` (default ``config.workers``) selects the execution
-    engine: ``1`` runs the serial day-loop below; ``N > 1`` shards the
-    window across ``N`` processes via :mod:`repro.parallel` and merges
-    a digest-identical result.  ``extra_bots_factory`` must then be
+    engine: ``1`` replays the window through the stream engine's day
+    loop (:mod:`repro.stream`, supervision bypassed — the batch serial
+    path *is* the stream path); ``N > 1`` shards the window across
+    ``N`` processes via :mod:`repro.parallel` and merges a
+    digest-identical result.  ``extra_bots_factory`` must then be
     picklable (a module-level function), since workers rebuild the
     fleet themselves.
 
@@ -586,71 +604,16 @@ def run_simulation(
             _export_store(result, store_dir)
         return result
 
-    substrate = build_substrate(config, extra_bots_factory)
-    collector = substrate.fresh_collector()
-    channel = substrate.fresh_channel(collector)
-    deliver = channel.deliver
-    honeynet = substrate.honeynet
+    # Serial batch mode IS the stream engine replaying the window with
+    # supervision bypassed — one code path (see repro.stream.engine).
+    from repro.stream.engine import run_stream
 
-    first_day = config.start
-    if resume:
-        restored = _resume_state(checkpoint_path, config, honeynet, collector)
-        if restored is not None:
-            first_day = restored
-    corruptor = None
-    if checkpoint_path is not None:
-        corruptor = substrate.checkpoint_corruptor()
-        if checkpoint_every_days is None:
-            checkpoint_every_days = DEFAULT_CHECKPOINT_EVERY_DAYS
-
-    started = time.monotonic()
-    logger.info(
-        "simulating %s..%s at scale=%g with %d bots on %d honeypots "
-        "(fault profile: %s)",
-        first_day, config.end, config.scale, len(substrate.bots),
-        len(honeynet.honeypots), config.faults.name,
+    return run_stream(
+        config,
+        extra_bots_factory,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every_days=checkpoint_every_days,
+        resume=resume,
+        stop_after=stop_after,
+        store_dir=store_dir,
     )
-
-    current_month: str | None = None
-    days_done = 0
-    days = (
-        days_between(first_day, config.end)
-        if first_day <= config.end
-        else iter(())
-    )
-    with telemetry.span("sim.run"):
-        for day in days:
-            month = month_key(day)
-            if month != current_month:
-                if current_month is not None:
-                    logger.debug(
-                        "month %s done (%d sessions so far)",
-                        current_month, len(collector.sessions),
-                    )
-                current_month = month
-            with telemetry.span("sim.day"):
-                simulate_day(substrate, day, deliver)
-            # Day boundary: release deferred records before any
-            # checkpoint below — the deferral queues are intra-day
-            # state and are never serialized.
-            collector.end_of_day()
-            channel.flush_telemetry()
-            days_done += 1
-            stopping = stop_after is not None and day >= stop_after
-            if checkpoint_path is not None and (
-                stopping or days_done % checkpoint_every_days == 0
-            ):
-                save_checkpoint(
-                    checkpoint_path, config, day + timedelta(days=1),
-                    honeynet, collector, corruptor=corruptor,
-                )
-                telemetry.count("checkpoint.saves")
-                logger.debug("checkpointed through %s", day)
-            if stopping:
-                logger.info("controlled stop after %s", day)
-                break
-
-    result = _finish_result(substrate, collector, channel, started)
-    if store_dir is not None:
-        _export_store(result, store_dir)
-    return result

@@ -20,6 +20,11 @@ Subcommands:
 * ``query``       — query a persisted artifact tree through the
   indexed store, with automatic shard-scan fallback when the index
   is damaged (see docs/architecture.md).
+* ``stream``      — run the window through the supervised stream
+  engine and print the supervision report (degraded-mode timeline,
+  breaker transitions, queue/coverage stats); ``--verify-replay``
+  additionally proves the digest equals a batch run of the same
+  config (see docs/streaming.md).
 
 Every subcommand accepts ``--fault-profile {none,paper,stress}``; the
 default ``paper`` models exactly the deployment the paper describes.
@@ -1011,6 +1016,124 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run the supervised stream engine and print its supervision report.
+
+    ``--stream-profile`` picks the :class:`~repro.stream.StreamPolicy`
+    preset: ``live`` (supervised, fault-free — byte-identical to
+    batch), ``chaos`` (elevated seeded stream faults), or ``replay``
+    (supervision bypassed; exactly the batch serial engine).  The
+    checkpoint flags mirror ``repro faults``; a checkpoint carrying a
+    degraded supervision section resumes seamlessly here, where the
+    batch engines would refuse it.
+    """
+    import dataclasses
+    from datetime import date as _date
+
+    from repro.attackers.orchestrator import run_simulation
+    from repro.stream import StreamPolicy, run_stream
+    from repro.util.text import format_table
+
+    config = _config(args)
+    policy = StreamPolicy.from_name(args.stream_profile)
+    if args.online and policy.supervised:
+        policy = dataclasses.replace(policy, online_clustering=True)
+    result = run_stream(
+        config,
+        policy=policy,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every_days=args.checkpoint_every,
+        resume=args.resume,
+        stop_after=args.stop_after,
+    )
+    digest = result.database.digest()
+    print(f"== stream: profile={args.stream_profile} ==")
+    report = result.stream
+    if report is None:
+        print("supervision bypassed (replay profile = the batch engine)")
+    else:
+        print(
+            f"mode: {report.mode}, {report.days} days, "
+            f"{report.events} events, coverage {report.coverage_rate:.2%}"
+        )
+        print(
+            f"queue: peak depth {report.queue_peak_depth}, "
+            f"{report.forced_drains} forced drains, {report.stalls} stalls"
+        )
+        print(
+            f"partitions: {report.partition_buffered} buffered, "
+            f"{report.partition_replayed} replayed; "
+            f"skewed days: {report.skew_days}"
+        )
+        print(
+            f"analysis: {report.analysis_observed} observed, "
+            f"{report.analysis_deferred} deferred, "
+            f"{report.analysis_errors} errors"
+        )
+        print(
+            f"heartbeats: {report.heartbeat_soft_breaches} soft, "
+            f"{report.heartbeat_hard_breaches} hard breaches"
+        )
+        if report.online_clusters is not None:
+            print(f"online clusters: {report.online_clusters}")
+        if report.transitions:
+            print()
+            print("== degraded-mode timeline ==")
+            rows = [
+                [
+                    _date.fromordinal(t.day).isoformat(),
+                    t.event,
+                    f"{t.from_mode} -> {t.to_mode}",
+                    t.reason,
+                ]
+                for t in report.transitions
+            ]
+            print(
+                format_table(["day", "event", "transition", "reason"], rows)
+            )
+        breaker_total = sum(
+            len(transitions)
+            for transitions in report.breaker_transitions.values()
+        )
+        if breaker_total:
+            print(
+                "breaker transitions: "
+                + ", ".join(
+                    f"{stage}={len(transitions)}"
+                    for stage, transitions in sorted(
+                        report.breaker_transitions.items()
+                    )
+                )
+            )
+    print()
+    print(f"dataset digest: {digest}")
+    if args.verify_replay:
+        batch = run_simulation(config)
+        match = (
+            digest == batch.database.digest()
+            and result.collector.accounting() == batch.collector.accounting()
+        )
+        print(f"replay-vs-batch: digest+accounting match: {match}")
+        if not match:
+            if (
+                policy.supervised
+                and not policy.faults.inert
+                and not config.faults.flood.inert
+            ):
+                # Stream faults delay arrivals; with an admission gate
+                # attached, delay changes which records hit the day's
+                # budget — a deterministic divergence, not a bug (see
+                # docs/streaming.md).  Still exit 1: the operator asked
+                # for a byte-identity check that does not hold here.
+                print(
+                    "note: chaos stream faults + an admission gate "
+                    "legitimately reorder admission; byte-identity is "
+                    "only promised for fault-free profiles"
+                )
+            return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
     from repro.reporting.markdown import experiments_markdown
@@ -1204,6 +1327,46 @@ def build_parser() -> argparse.ArgumentParser:
         "tests of the verify/rebuild/fallback paths",
     )
     faults.set_defaults(func=cmd_faults)
+
+    stream = commands.add_parser(
+        "stream",
+        help="run the supervised stream engine and print the "
+        "supervision report (see docs/streaming.md)",
+    )
+    _add_common(stream)
+    stream.add_argument(
+        "--stream-profile", choices=("replay", "live", "chaos"),
+        default="live",
+        help="stream policy preset: replay (batch, unsupervised), "
+        "live (supervised, fault-free), chaos (elevated stream faults)",
+    )
+    stream.add_argument(
+        "--online", action="store_true",
+        help="feed stored command sessions through the incremental "
+        "clusterer as they arrive (supervised profiles only)",
+    )
+    stream.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="checkpoint file to write (and resume from)",
+    )
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="DAYS",
+        help="checkpoint cadence in simulated days (default 30)",
+    )
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint if it exists",
+    )
+    stream.add_argument(
+        "--stop-after", type=date.fromisoformat, default=None, metavar="DATE",
+        help="controlled stop after this simulated day (YYYY-MM-DD)",
+    )
+    stream.add_argument(
+        "--verify-replay", action="store_true",
+        help="also run the batch engine on the same config and fail "
+        "unless digest and accounting are identical",
+    )
+    stream.set_defaults(func=cmd_stream)
 
     verify = commands.add_parser(
         "verify",

@@ -134,6 +134,10 @@ class Checkpoint:
     counters: dict[str, int]
     sessions: list
     dead_letters: list
+    #: Supervision state written by a *degraded* supervised stream run
+    #: (:mod:`repro.stream.engine`); None for batch checkpoints and for
+    #: supervised checkpoints taken in the pristine state.
+    stream: dict | None = None
 
 
 def checkpoint_generations(path: Path | str) -> list[Path]:
@@ -166,6 +170,7 @@ def save_checkpoint(
     collector: "Collector",
     *,
     corruptor: "CheckpointCorruptor | None" = None,
+    stream_state: dict | None = None,
 ) -> None:
     """Atomically write the full resumable state to ``path``.
 
@@ -175,6 +180,11 @@ def save_checkpoint(
     destroys the last good snapshot.  ``corruptor`` is the fault hook:
     when set, the freshly written file may be damaged in place
     (:class:`~repro.faults.corruption.CheckpointCorruptor`).
+
+    ``stream_state``: the supervision snapshot of a degraded stream run
+    (:mod:`repro.stream.engine`).  It is an *optional* checksummed
+    section — absent entirely when ``None``, so batch checkpoints and
+    pristine supervised checkpoints stay byte-identical.
     """
     from repro.honeynet.io import session_to_dict
 
@@ -195,12 +205,15 @@ def save_checkpoint(
             seal(session_to_dict(s)) for s in collector.dead_letters
         ],
     }
+    if stream_state is not None:
+        sections["stream"] = stream_state
     document = {
         "v": CHECKPOINT_VERSION,
         "fingerprint": config_fingerprint(config),
         "next_day": next_day.isoformat(),
         "checksums": {
-            name: section_checksum(sections[name]) for name in _SECTIONS
+            name: section_checksum(section)
+            for name, section in sections.items()
         },
         **sections,
     }
@@ -260,6 +273,16 @@ def _validate_document(document: dict, path: Path | str) -> None:
                 path=path,
                 reason="section-checksum",
             )
+    # The stream section is optional (only degraded supervised runs
+    # write one) but checksummed like any other when present.
+    if "stream" in document and (
+        section_checksum(document["stream"]) != checksums.get("stream")
+    ):
+        raise CheckpointError(
+            f"checkpoint section 'stream' failed its checksum in {path}",
+            path=path,
+            reason="section-checksum",
+        )
 
 
 def _checkpoint_from_document(document: dict, path: Path | str) -> Checkpoint:
@@ -281,6 +304,7 @@ def _checkpoint_from_document(document: dict, path: Path | str) -> Checkpoint:
             dead_letters=[
                 session_from_dict(p) for p in document["dead_letters"]
             ],
+            stream=document.get("stream"),
         )
     except (KeyError, TypeError, ValueError, SessionLogError) as error:
         raise CheckpointError(

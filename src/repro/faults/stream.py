@@ -1,0 +1,223 @@
+"""Seeded stream fault domain: what goes wrong in *live* ingest.
+
+The batch fault profiles (:mod:`repro.faults.plan`) model what breaks
+in the *data* — outages, lossy transport, corrupted artifacts.  A live
+event stream adds a second family of failures that only exist because
+processing happens while data arrives: the consumer falls behind, a
+sensor partitions away and replays its backlog late, a machine's clock
+skews and makes healthy stages look dead.  :class:`StreamFaults`
+declares those knobs; :func:`compile_day_plan` turns them into one
+concrete :class:`DayStreamPlan` per calendar day, keyed off a dedicated
+``RngTree`` branch — so the same seed stalls the same days in every
+run, and the supervision timeline the stream engine produces is a pure
+function of ``(seed, faults)``.
+
+Digest semantics (pinned by ``tests/test_stream.py``):
+
+* **Stalls are digest-neutral.**  A stalled consumer buffers arrivals
+  in the bounded inter-stage queue and drains them FIFO, so the
+  collector sees the same records in the same order — unless the queue
+  overflows and backpressure forces the admission gate to shed, which
+  only exists when a flood profile attaches a gate.
+* **Partitions are digest-neutral without a gate.**  A partitioned
+  sensor's records are buffered and replayed in original order before
+  the day closes (delayed, never lost); with an admission gate the
+  *delay* changes which records hit the day's budget first, which is a
+  deterministic function of the fault plan.
+* **Clock skew never touches record bytes.**  It skews only the
+  heartbeat timestamps the supervisor reads, so it can trip false
+  staleness alarms — supervision noise, not data noise.
+* **Analysis errors are observational.**  The incremental analysis
+  stage sits after the collector; a failing stage defers analysis work
+  (counted), it never drops a record.
+
+Like the other fault modules, this one must not import
+:mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Sequence
+
+from repro.util.rng import RngTree
+
+#: Probability fields checked by :meth:`StreamFaults.__post_init__` and
+#: :attr:`StreamFaults.inert`.
+_PROBABILITY_FIELDS = (
+    "stall_probability",
+    "partition_probability",
+    "analysis_error_probability",
+    "clock_skew_probability",
+)
+
+
+@dataclass(frozen=True)
+class StreamFaults:
+    """Declarative stream-fault configuration for one supervised run.
+
+    * ``stall_probability`` — each day the analysis consumer stalls
+      with this probability, starting at a seeded event ordinal and
+      lasting ``stall_virtual_s`` virtual seconds; arrivals pile into
+      the inter-stage queue meanwhile.
+    * ``partition_probability`` — each day up to
+      ``partition_max_sensors`` seeded sensors partition away; their
+      records buffer sensor-side and replay in order before day close.
+    * ``analysis_error_probability`` — each day the analysis stage
+      throws on a seeded run of ``analysis_error_run`` consecutive
+      events, which is what trips the analysis circuit breaker.
+    * ``clock_skew_probability`` — each day the supervision clock skews
+      by a seeded offset up to ``clock_skew_max_s`` virtual seconds,
+      aging every heartbeat the supervisor reads.
+
+    Onset ordinals are drawn uniformly in ``[0, onset_window_events)``;
+    a day with fewer events than the drawn onset simply does not host
+    that fault (short days are quiet days — deterministically so).
+    """
+
+    stall_probability: float = 0.0
+    stall_virtual_s: float = 3.0
+    partition_probability: float = 0.0
+    partition_max_sensors: int = 3
+    analysis_error_probability: float = 0.0
+    analysis_error_run: int = 4
+    clock_skew_probability: float = 0.0
+    clock_skew_max_s: float = 20.0
+    onset_window_events: int = 200
+
+    def __post_init__(self) -> None:
+        for name in _PROBABILITY_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.stall_virtual_s < 0:
+            raise ValueError("stall_virtual_s must be non-negative")
+        if self.partition_max_sensors < 1:
+            raise ValueError("partition_max_sensors must be at least 1")
+        if self.analysis_error_run < 1:
+            raise ValueError("analysis_error_run must be at least 1")
+        if self.clock_skew_max_s < 0:
+            raise ValueError("clock_skew_max_s must be non-negative")
+        if self.onset_window_events < 1:
+            raise ValueError("onset_window_events must be at least 1")
+
+    @property
+    def inert(self) -> bool:
+        """True when no stream fault can ever engage."""
+        return all(
+            getattr(self, name) == 0.0 for name in _PROBABILITY_FIELDS
+        )
+
+    @classmethod
+    def from_name(cls, name: str) -> "StreamFaults":
+        """Resolve a named stream-fault preset (CLI ``--stream-profile``).
+
+        ``off`` is the inert default; ``chaos`` runs every fault kind at
+        elevated probability — most days host at least one — which is
+        what the soak leg and the determinism suite hammer on.
+        """
+        presets = {
+            "off": cls,
+            "chaos": lambda: cls(
+                stall_probability=0.3,
+                stall_virtual_s=3.0,
+                partition_probability=0.25,
+                partition_max_sensors=3,
+                analysis_error_probability=0.3,
+                analysis_error_run=4,
+                clock_skew_probability=0.2,
+                clock_skew_max_s=20.0,
+            ),
+        }
+        try:
+            return presets[name]()
+        except KeyError:
+            known = ", ".join(sorted(presets))
+            raise ValueError(
+                f"unknown stream profile {name!r} (known: {known})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class DayStreamPlan:
+    """The concrete stream faults compiled for one calendar day."""
+
+    #: Event ordinal at which the consumer stalls, or None.
+    stall_at_event: int | None = None
+    #: Virtual seconds the stalled consumer stays down.
+    stall_virtual_s: float = 0.0
+    #: Honeypot ids partitioned away for the day (replayed before close).
+    partitioned: frozenset[str] = frozenset()
+    #: Event ordinal at which the analysis-error run starts, or None.
+    error_at_event: int | None = None
+    #: Consecutive analysis events that fail once the run starts.
+    error_run: int = 0
+    #: Offset applied to heartbeat stamps the supervisor reads.
+    clock_skew_s: float = 0.0
+
+    @property
+    def inert(self) -> bool:
+        return (
+            self.stall_at_event is None
+            and not self.partitioned
+            and self.error_at_event is None
+            and self.clock_skew_s == 0.0
+        )
+
+
+#: Shared inert plan: fault-free days allocate nothing.
+INERT_DAY_PLAN = DayStreamPlan()
+
+
+def compile_day_plan(
+    faults: StreamFaults,
+    tree: RngTree,
+    day: date,
+    sensor_ids: Sequence[str],
+) -> DayStreamPlan:
+    """Compile the concrete fault plan for one day.
+
+    Each fault kind draws from its own ``(day ordinal, kind)`` child
+    stream, so toggling one knob never shifts another kind's schedule —
+    profiles compose.  ``sensor_ids`` must be sorted (the engine passes
+    the honeynet's ids in id order) so partition sampling is stable.
+    """
+    if faults.inert:
+        return INERT_DAY_PLAN
+    ordinal = day.toordinal()
+    stall_at: int | None = None
+    stall_s = 0.0
+    if faults.stall_probability > 0.0:
+        rng = tree.rand_for(ordinal, "stall")
+        if rng.random() < faults.stall_probability:
+            stall_at = rng.randrange(faults.onset_window_events)
+            stall_s = faults.stall_virtual_s
+    partitioned: frozenset[str] = frozenset()
+    if faults.partition_probability > 0.0 and sensor_ids:
+        rng = tree.rand_for(ordinal, "partition")
+        if rng.random() < faults.partition_probability:
+            k = rng.randint(
+                1, min(faults.partition_max_sensors, len(sensor_ids))
+            )
+            partitioned = frozenset(rng.sample(list(sensor_ids), k))
+    error_at: int | None = None
+    error_run = 0
+    if faults.analysis_error_probability > 0.0:
+        rng = tree.rand_for(ordinal, "analysis")
+        if rng.random() < faults.analysis_error_probability:
+            error_at = rng.randrange(faults.onset_window_events)
+            error_run = faults.analysis_error_run
+    skew = 0.0
+    if faults.clock_skew_probability > 0.0:
+        rng = tree.rand_for(ordinal, "skew")
+        if rng.random() < faults.clock_skew_probability:
+            skew = rng.random() * faults.clock_skew_max_s
+    return DayStreamPlan(
+        stall_at_event=stall_at,
+        stall_virtual_s=stall_s,
+        partitioned=partitioned,
+        error_at_event=error_at,
+        error_run=error_run,
+        clock_skew_s=skew,
+    )

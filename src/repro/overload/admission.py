@@ -24,6 +24,11 @@ window is sharded: admission is a pure function of (day's records,
 seeded coins), which is what keeps the serial and parallel engines
 digest-equal under flood.
 
+The supervised stream engine (:mod:`repro.stream`) additionally feeds
+queue-depth backpressure into the gate via :meth:`apply_backpressure`:
+high pressure halves the effective budget, critical pressure zeroes it.
+Batch runs never apply pressure, so their verdicts are unchanged.
+
 This module must not import :mod:`repro.config`.
 """
 
@@ -42,6 +47,12 @@ if TYPE_CHECKING:
 ADMIT = "admit"
 DEFER = "defer"
 SHED = "shed"
+
+#: Backpressure levels fed in by the stream engine
+#: (:mod:`repro.stream.queues` exports the matching ``LEVEL_*`` names).
+PRESSURE_NONE = 0
+PRESSURE_HIGH = 1
+PRESSURE_CRITICAL = 2
 
 
 def record_priority(record: "SessionRecord") -> int:
@@ -78,10 +89,36 @@ class AdmissionController:
     _queues: dict[str, list["SessionRecord"]] = field(
         default_factory=dict, init=False, repr=False
     )
+    #: Backpressure level currently applied by the stream engine's
+    #: supervision layer; 0 outside supervised streams, so the batch
+    #: engines never see a shrunk budget.
+    _pressure: int = field(default=PRESSURE_NONE, init=False, repr=False)
+
+    def apply_backpressure(self, level: int) -> None:
+        """Set the stream supervision backpressure level.
+
+        ``PRESSURE_HIGH`` halves the effective daily budget;
+        ``PRESSURE_CRITICAL`` zeroes it (every record faces the shed
+        policy until pressure is released).  The deterministic part of
+        the verdict machinery — priority classes, seeded per-session
+        coins, bounded deferral queues — is untouched, so shedding
+        under pressure stays a pure function of (records, coins,
+        pressure schedule).
+        """
+        if level not in (PRESSURE_NONE, PRESSURE_HIGH, PRESSURE_CRITICAL):
+            raise ValueError(f"unknown backpressure level {level!r}")
+        self._pressure = level
+
+    def _effective_budget(self) -> int:
+        if self._pressure >= PRESSURE_CRITICAL:
+            return 0
+        if self._pressure == PRESSURE_HIGH:
+            return self.budget // 2
+        return self.budget
 
     def offer(self, record: "SessionRecord") -> str:
         """The gate's verdict for ``record``: ADMIT, DEFER or SHED."""
-        if self._admitted_today < self.budget:
+        if self._admitted_today < self._effective_budget():
             self._admitted_today += 1
             return ADMIT
         priority = record_priority(record)

@@ -25,11 +25,12 @@ codebase already guarantees:
   / :meth:`~repro.honeynet.collector.Collector.absorb_batch`).
 
 Shard results cross the process boundary as compact column buffers
-(:mod:`repro.honeynet.columnar`, gated by :data:`COLUMNAR_IPC`): the
-worker encodes its record lists into a :class:`ColumnBatch` whose
-pickle is a handful of flat numpy/bytes buffers, and the parent decodes
-with a vectorized bulk-ingest — the round-trip is proven an identity by
-the property suite, so the merged digest cannot move.
+(:mod:`repro.honeynet.columnar`) — the only IPC format: the worker
+encodes its record lists into a :class:`ColumnBatch` whose pickle is a
+handful of flat numpy/bytes buffers, and the parent decodes with a
+vectorized bulk-ingest.  The encode→decode round-trip is proven an
+identity by the codec property suite (``tests/test_columnar.py``), so
+the merged digest cannot move.
 
 Checkpoints are written at shard boundaries with the same format as the
 serial engine, so serial and parallel runs can resume each other's
@@ -96,13 +97,6 @@ from repro.util.timeutils import days_between
 
 logger = logging.getLogger("repro.parallel")
 
-#: Ship shard results as compact column buffers (:class:`ColumnBatch`)
-#: instead of pickled ``SessionRecord`` object graphs.  The legacy
-#: object-graph IPC path is retained only as a differential oracle for
-#: the cross-matrix suite (``tests/test_columnar.py``) and is scheduled
-#: for removal once that leg has baked in CI.
-COLUMNAR_IPC = True
-
 #: Collector counter names merged across shards (mirrors the
 #: checkpoint serialization so the two stay in sync).
 COUNTER_KEYS = (
@@ -128,10 +122,9 @@ class ShardOutput:
     """Everything one fully simulated shard sends back to the parent.
 
     ``sessions``/``dead_letters`` are :class:`ColumnBatch` column
-    buffers on the columnar IPC path (pool workers) and plain record
-    lists on the legacy path and the in-parent serial fallback (where
-    there is no IPC to compress); the merge loop dispatches on the
-    payload type.
+    buffers from pool workers and plain record lists from the in-parent
+    serial fallback (where there is no IPC to compress); the merge loop
+    dispatches on the payload type.
     """
 
     index: int
@@ -163,7 +156,6 @@ class ShardOutput:
 _WORKER_ARGS: tuple | None = None
 _WORKER_SUBSTRATE: SimulationSubstrate | None = None
 _WORKER_TELEMETRY: bool = False
-_WORKER_COLUMNAR: bool = True
 #: Set (then cleared) by :func:`run_simulation_parallel` around pool
 #: creation so fork-children inherit the already-built substrate.
 _PARENT_SUBSTRATE: SimulationSubstrate | None = None
@@ -173,13 +165,11 @@ def _init_worker(
     config: SimulationConfig,
     extra_bots_factory,
     collect_telemetry: bool = False,
-    columnar_ipc: bool = True,
 ) -> None:
-    global _WORKER_ARGS, _WORKER_SUBSTRATE, _WORKER_TELEMETRY, _WORKER_COLUMNAR
+    global _WORKER_ARGS, _WORKER_SUBSTRATE, _WORKER_TELEMETRY
     _WORKER_ARGS = (config, extra_bots_factory)
     _WORKER_SUBSTRATE = _PARENT_SUBSTRATE
     _WORKER_TELEMETRY = collect_telemetry
-    _WORKER_COLUMNAR = columnar_ipc
     # Under the fork start method the child inherits the parent's
     # active registry; clear it so shard metrics are strictly
     # shard-local (each task enables its own fresh registry).
@@ -277,14 +267,11 @@ def _run_shard(
             - base_counters.get(honeypot.honeypot_id, 0)
         )
     }
-    sessions: list[SessionRecord] | ColumnBatch = collector.sessions
-    dead_letters: list[SessionRecord] | ColumnBatch = collector.dead_letters
-    if _WORKER_COLUMNAR:
-        # Encode on the worker side so the expensive part of IPC — the
-        # per-record pickling of object graphs — becomes a handful of
-        # flat buffer pickles, and the encode cost itself parallelizes.
-        sessions = ColumnBatch.from_records(sessions)
-        dead_letters = ColumnBatch.from_records(dead_letters)
+    # Encode on the worker side so the expensive part of IPC — the
+    # per-record pickling of object graphs — becomes a handful of
+    # flat buffer pickles, and the encode cost itself parallelizes.
+    sessions = ColumnBatch.from_records(collector.sessions)
+    dead_letters = ColumnBatch.from_records(collector.dead_letters)
     return ShardOutput(
         index=index,
         sessions=sessions,
@@ -550,7 +537,17 @@ def run_simulation_parallel(
 
     first_day = config.start
     if resume:
-        restored = _resume_state(checkpoint_path, config, honeynet, collector)
+        stream_sink: list[dict] = []
+        restored = _resume_state(
+            checkpoint_path, config, honeynet, collector,
+            stream_sink=stream_sink,
+        )
+        if stream_sink:
+            raise ValueError(
+                "checkpoint records a degraded stream supervision state, "
+                "which the parallel batch engine cannot reproduce; resume "
+                "it with the supervised stream engine instead"
+            )
         if restored is not None:
             first_day = restored
     corruptor = None
@@ -602,7 +599,6 @@ def run_simulation_parallel(
                 config,
                 extra_bots_factory,
                 parent_registry is not None,
-                COLUMNAR_IPC,
             ),
         ) as pool:
             # Phase 1: count arrivals for every shard but the last (the

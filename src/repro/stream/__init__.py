@@ -1,0 +1,68 @@
+"""``repro.stream`` — the supervised event-stream engine.
+
+The batch serial engine is this package under
+:meth:`StreamPolicy.replay`; see :mod:`repro.stream.engine` for the
+architecture and ``docs/streaming.md`` for the operator view.
+"""
+
+from repro.stream.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.stream.engine import (
+    RollingLedger,
+    StreamIntegrityError,
+    StreamReport,
+    StreamSubstrate,
+    run_stream,
+)
+from repro.stream.policy import StreamPolicy
+from repro.stream.queues import (
+    LEVEL_CRITICAL,
+    LEVEL_HIGH,
+    LEVEL_OK,
+    BoundedStreamQueue,
+)
+from repro.stream.supervisor import (
+    MODE_ANALYSIS_DEFERRED,
+    MODE_FULL,
+    MODE_RANK,
+    MODE_SHED_ONLY,
+    STAGE_ANALYSIS,
+    STAGE_INGEST,
+    STAGES,
+    HeartbeatMonitor,
+    ModeTransition,
+    StreamSupervisor,
+)
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "RollingLedger",
+    "StreamIntegrityError",
+    "StreamReport",
+    "StreamSubstrate",
+    "run_stream",
+    "StreamPolicy",
+    "LEVEL_OK",
+    "LEVEL_HIGH",
+    "LEVEL_CRITICAL",
+    "BoundedStreamQueue",
+    "MODE_FULL",
+    "MODE_ANALYSIS_DEFERRED",
+    "MODE_SHED_ONLY",
+    "MODE_RANK",
+    "STAGE_INGEST",
+    "STAGE_ANALYSIS",
+    "STAGES",
+    "HeartbeatMonitor",
+    "ModeTransition",
+    "StreamSupervisor",
+]

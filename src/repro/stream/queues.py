@@ -1,0 +1,78 @@
+"""Bounded inter-stage queues whose depth drives backpressure.
+
+One queue sits between the ingest boundary (sensors pushing sessions)
+and the analysis consumer.  On the healthy path it is pass-through —
+every push is pumped synchronously, depth never exceeds one — so the
+stream replays the batch day-loop byte for byte.  Under a consumer
+stall the queue absorbs the backlog FIFO; its depth maps to a
+backpressure level that the engine feeds into the admission controller
+(:meth:`repro.overload.admission.AdmissionController.apply_backpressure`)
+and, at the critical level, escalates the degraded-mode ladder to
+``shed-only``.
+
+This module must not import :mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Backpressure levels derived from queue depth.
+LEVEL_OK = 0
+LEVEL_HIGH = 1
+LEVEL_CRITICAL = 2
+
+
+@dataclass
+class BoundedStreamQueue:
+    """A bounded FIFO between two stream stages, with depth accounting."""
+
+    name: str
+    capacity: int
+    #: Depth at which backpressure rises to :data:`LEVEL_HIGH`.
+    high_watermark: int
+    _items: deque = field(default_factory=deque, init=False, repr=False)
+    pushed: int = field(default=0, init=False)
+    popped: int = field(default=0, init=False)
+    peak_depth: int = field(default=0, init=False)
+    #: Pops forced by a full queue while the consumer was stalled.
+    forced_drains: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0 < self.high_watermark <= self.capacity:
+            raise ValueError(
+                "high_watermark must be in (0, capacity]"
+            )
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item) -> None:
+        if self.full:
+            raise OverflowError(f"stream queue {self.name!r} is full")
+        self._items.append(item)
+        self.pushed += 1
+        if len(self._items) > self.peak_depth:
+            self.peak_depth = len(self._items)
+
+    def pop(self):
+        item = self._items.popleft()
+        self.popped += 1
+        return item
+
+    def level(self) -> int:
+        """The backpressure level this depth maps to."""
+        depth = len(self._items)
+        if depth >= self.capacity:
+            return LEVEL_CRITICAL
+        if depth >= self.high_watermark:
+            return LEVEL_HIGH
+        return LEVEL_OK

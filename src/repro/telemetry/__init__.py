@@ -89,12 +89,17 @@ __all__ = [
 #: The admission counters (``overload.admitted/shed/deferred``) are
 #: deliberately NOT here: shedding verdicts are seeded per record, so
 #: both engines must agree on them exactly.
+#: ``stream.*`` counters describe the supervision layer of the stream
+#: engine (queue depths, breaker/mode transitions, heartbeat breaches)
+#: — supervision exists only on that engine, so they are engine-class
+#: metrics too.
 MERGE_ONLY_PREFIXES = (
     "parallel.",
     "collector.absorb.",
     "checkpoint.",
     "overload.watchdog.",
     "store.",
+    "stream.",
 )
 
 #: The currently active registry, or None while telemetry is disabled.

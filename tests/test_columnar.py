@@ -8,11 +8,11 @@ Three layers of proof that the columnar refactor cannot move a byte:
 * **RNG equivalence** — the per-day batched draws (`_route_draws`,
   ``RngTree.rand_for``/``coin``, the ``batched_*`` helpers) reproduce
   the per-session draw sequences exactly, for arbitrary counts.
-* **Cross-matrix differential** — columnar vs. legacy IPC × every
-  fault profile × {serial, 2 workers} produce equal digests and
-  conservation counters.  The legacy object-graph IPC path exists only
-  to serve as this oracle and is scheduled for removal once the leg
-  has baked in CI.
+* **Cross-matrix differential** — columnar IPC × every fault profile ×
+  {serial, 2 workers} produce equal digests and conservation counters.
+  Columnar buffers are the only IPC format; the codec property layer
+  above is what proves the round-trip an identity, so no object-graph
+  oracle is needed.
 
 Marked ``columnar`` so CI can run this suite as its own job leg
 (``pytest -m columnar``).
@@ -371,35 +371,22 @@ class TestFloodOffShedPath:
 
 
 # ----------------------------------------------------------------------
-# cross-matrix differential: columnar vs legacy × profiles × engines
+# cross-matrix differential: columnar IPC × profiles × engines
 # ----------------------------------------------------------------------
 
 
 class TestColumnarCrossMatrix:
-    """Columnar and legacy IPC agree with serial for every profile.
+    """Columnar IPC agrees with serial for every fault profile.
 
-    Once this leg has baked in CI the legacy object-graph path
-    (``engine.COLUMNAR_IPC = False``) is slated for deletion along with
-    ``Collector.absorb``'s record-list branch.
+    Columnar buffers are the only shard IPC format; the codec property
+    suite above proves the encode→decode round-trip an identity, and
+    this matrix proves the merged result equal to the serial engine's.
     """
 
     @pytest.mark.parametrize("profile", PROFILES)
     def test_columnar_two_workers_equals_serial(
         self, serial_baselines, profile
     ):
-        from repro.parallel import engine
-
-        assert engine.COLUMNAR_IPC is True  # the default path
-        parallel = run_simulation(short_fault_config(profile), workers=2)
-        assert_equivalent(parallel, serial_baselines[profile])
-
-    @pytest.mark.parametrize("profile", PROFILES)
-    def test_legacy_two_workers_equals_serial(
-        self, serial_baselines, profile, monkeypatch
-    ):
-        from repro.parallel import engine
-
-        monkeypatch.setattr(engine, "COLUMNAR_IPC", False)
         parallel = run_simulation(short_fault_config(profile), workers=2)
         assert_equivalent(parallel, serial_baselines[profile])
 
