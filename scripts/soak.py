@@ -36,7 +36,13 @@ log corruption + worker crashes):
    breaker/mode-ladder timelines, the conservation ledger (including
    the extended `admitted == stored + deduplicated` law) must balance,
    a mid-run interrupt must resume to the same final digest, and a
-   fault-free supervised replay must stay byte-identical to batch.
+   fault-free supervised replay must stay byte-identical to batch;
+9. a stream-serve leg: the same chaos stream with a snapshot publisher
+   attached and a live query burst fired at every published day
+   boundary — digests and accounting must stay byte-identical to the
+   detached run, and a full chaos-profile service load test over the
+   run's exported store must resolve every request contractually
+   (zero unserved) and replay to an identical request-outcome ledger.
 
 Every numbered item is a registered *leg* — `--only <leg>` runs one in
 isolation (see `--list-legs`).  Exit code 0 only when every executed
@@ -447,6 +453,103 @@ def check_stream_chaos(config: SimulationConfig, work: Path) -> None:
     print("stream replay-vs-batch: digests identical")
 
 
+def check_stream_serve(config: SimulationConfig, work: Path) -> None:
+    """Serve leg: a snapshot publisher attached to the chaos stream —
+    with live load bursts at every published boundary — must leave
+    digests untouched, and a seeded chaos load test over the exported
+    store must stay contractual and replay byte-identically."""
+    import asyncio
+    import dataclasses
+
+    from repro.faults.plan import FloodFaults
+    from repro.faults.service import ServiceFaults
+    from repro.service import (
+        QueryService,
+        Request,
+        ServiceLoadModel,
+        SnapshotPublisher,
+        run_load_test,
+    )
+    from repro.store import SqliteStore, export_indexed_tree, index_path_for
+    from repro.stream import StreamPolicy, run_stream
+
+    flood_config = config.replace(
+        faults=dataclasses.replace(
+            config.faults, flood=FloodFaults.from_name("storm")
+        )
+    )
+    detached = run_stream(flood_config, policy=StreamPolicy.chaos())
+    publisher = SnapshotPublisher()
+    bursts = {"requests": 0}
+
+    def burst(snapshot) -> None:
+        # A live reader burst at each publish boundary: the publisher
+        # hook drives a service over the snapshot mid-run, which must
+        # observe and never mutate.
+        service = QueryService(snapshot=snapshot)
+
+        async def drive() -> None:
+            for index in range(4):
+                response = await service.handle(
+                    Request(f"soak-{index}", "aggregate")
+                )
+                if response.outcome != "ok":
+                    fail("day-boundary load burst got a non-ok response")
+
+        asyncio.run(drive())
+        bursts["requests"] += 4
+
+    publisher.on_publish.append(burst)
+    attached = run_stream(
+        flood_config, policy=StreamPolicy.chaos(), publisher=publisher
+    )
+    print(
+        f"stream serve: {publisher.published} snapshots published, "
+        f"{publisher.skipped_clean} clean boundaries skipped, "
+        f"{bursts['requests']} burst requests served, "
+        f"digest {attached.database.digest()[:16]}…"
+    )
+    if attached.database.digest() != detached.database.digest():
+        fail("attaching the snapshot publisher moved the dataset digest")
+    if attached.collector.accounting() != detached.collector.accounting():
+        fail("attaching the snapshot publisher moved the accounting")
+    latest = publisher.latest
+    if latest is None:
+        fail("chaos stream run published no snapshot at all")
+    if latest.sessions != len(attached.collector.sessions):
+        fail("final snapshot does not describe the full stored corpus")
+    if latest.ledger != attached.stream.ledger_verdict:
+        fail("final snapshot carries a stale ledger verdict")
+
+    store_dir = work / "serve-tree"
+    export_indexed_tree(attached.database.sessions, store_dir)
+    store = SqliteStore.open(index_path_for(store_dir), read_only=True)
+    try:
+        model = ServiceLoadModel(
+            seed=config.seed,
+            ticks=20,
+            requests_per_tick=8,
+            faults=ServiceFaults.from_name("chaos"),
+        )
+        first = run_load_test(
+            QueryService(store=store, seed=config.seed), model
+        )
+        replay = run_load_test(
+            QueryService(store=store, seed=config.seed), model
+        )
+    finally:
+        store.close()
+    print(
+        f"stream serve load test: {first.total} requests, {first.ok} ok, "
+        f"{first.stale} stale, {sum(first.rejected.values())} rejected, "
+        f"cache hit ratio {first.cache_hit_ratio:.3f}"
+    )
+    if first.unserved:
+        fail(f"{first.unserved} load-test requests resolved non-contractually")
+    if first.digest() != replay.digest():
+        fail("same-seed service load test replayed to a different ledger")
+
+
 # ----------------------------------------------------------------------
 # leg registry (execution order == registration order)
 # ----------------------------------------------------------------------
@@ -464,6 +567,7 @@ leg("lsh")(
     else print("lsh leg skipped (--lsh-corpus 0)")
 )
 leg("stream-chaos")(lambda ctx: check_stream_chaos(ctx.config, ctx.work))
+leg("stream-serve")(lambda ctx: check_stream_serve(ctx.config, ctx.work))
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -499,6 +499,11 @@ TELEMETRY_BAR_PCT = 5.0
 SKETCH_SPEEDUP_FLOOR = 5.0
 SKETCH_RATIO_BAR = 0.25
 SKETCH_RECALL_FLOOR = 0.95
+#: Floors for the query-service scenario: repeated-query load must hit
+#: the read-through cache at least this often, and no request may go
+#: unserved (outside the ok/rejected/stale contract) while a snapshot
+#: exists — in any service scenario, breaker-open included.
+SERVICE_CACHE_FLOOR = 0.9
 
 
 def check_bench_floors(
@@ -508,6 +513,7 @@ def check_bench_floors(
     sketch_speedup_floor: float = SKETCH_SPEEDUP_FLOOR,
     sketch_ratio_bar: float = SKETCH_RATIO_BAR,
     sketch_recall_floor: float = SKETCH_RECALL_FLOOR,
+    service_cache_floor: float = SERVICE_CACHE_FLOOR,
 ) -> list[str]:
     """Regression-floor violations in a bench report (empty = healthy).
 
@@ -558,6 +564,22 @@ def check_bench_floors(
                 f"sketch close-pair recall {recall:.4f} is below the "
                 f"{sketch_recall_floor:.2f} floor"
             )
+    service = report.get("service")
+    if service:
+        ratio = service.get("repeated", {}).get("cache_hit_ratio", 1.0)
+        if ratio < service_cache_floor:
+            violations.append(
+                f"service cache hit ratio {ratio:.4f} on repeated-query "
+                f"load is below the {service_cache_floor:.2f} floor"
+            )
+        for scenario in ("repeated", "breaker_open"):
+            unserved = service.get(scenario, {}).get("unserved", 0)
+            if unserved:
+                violations.append(
+                    f"service scenario {scenario!r} left {unserved} "
+                    "requests unserved (outside the ok/rejected/stale "
+                    "contract)"
+                )
     return violations
 
 
@@ -640,6 +662,77 @@ def _sketch_bench(args, config, best_of) -> dict:
         "close_threshold": close_threshold,
         "close_pairs_sampled": len(close),
         "close_pair_recall": round(recall, 4),
+    }
+
+
+def _service_bench(serial_result, config) -> dict:
+    """The query-service bench block (see ``repro bench --help``).
+
+    Exports the serial run to a temporary indexed store and drives two
+    seeded load scenarios against a store-backed service: repeated-query
+    load (throughput + cache hit ratio — the read-through LRU's floor)
+    and the breaker-open profile (stale-serve rate while the service↔
+    store breaker degrades to the last-good snapshot).  Both scenarios
+    record ``unserved``, which must be 0: every request resolves inside
+    the ok/rejected/stale contract.
+    """
+    import tempfile
+    import time
+
+    from repro.attackers.orchestrator import _export_store
+    from repro.faults.service import ServiceFaults
+    from repro.service import (
+        QueryService,
+        ServiceLoadModel,
+        run_load_test,
+    )
+    from repro.store import SqliteStore, index_path_for
+
+    def scenario(index, profile, **model_kwargs):
+        store = SqliteStore.open(index, read_only=True)
+        try:
+            service = QueryService(store=store, seed=config.seed)
+            model = ServiceLoadModel(
+                seed=config.seed,
+                faults=ServiceFaults.from_name(profile),
+                **model_kwargs,
+            )
+            started = time.perf_counter()
+            report = run_load_test(service, model)
+            wall_s = time.perf_counter() - started
+            return report, wall_s, service
+        finally:
+            store.close()
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        store_dir = Path(tmp)
+        _export_store(serial_result, store_dir)
+        index = index_path_for(store_dir)
+        repeated, repeated_s, _ = scenario(
+            index, "off", ticks=20, requests_per_tick=32
+        )
+        breaker, breaker_s, service = scenario(
+            index, "breaker", ticks=20, requests_per_tick=8
+        )
+    return {
+        "snapshot_sessions": len(serial_result.database),
+        "repeated": {
+            "requests": repeated.total,
+            "wall_s": round(repeated_s, 4),
+            "requests_per_s": round(repeated.total / repeated_s, 1),
+            "cache_hit_ratio": round(repeated.cache_hit_ratio, 4),
+            "ok": repeated.ok,
+            "rejected": sum(repeated.rejected.values()),
+            "unserved": repeated.unserved,
+        },
+        "breaker_open": {
+            "requests": breaker.total,
+            "wall_s": round(breaker_s, 4),
+            "stale_served": breaker.stale,
+            "stale_rate": round(breaker.stale_rate, 4),
+            "breaker_trips": service.breaker.trips,
+            "unserved": breaker.unserved,
+        },
     }
 
 
@@ -843,6 +936,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     }
     if args.sketch_sample > 0:
         report["sketch"] = _sketch_bench(args, config, best_of)
+    report["service"] = _service_bench(serial_result, config)
     violations = check_bench_floors(
         report,
         speedup_floor=args.speedup_floor,
@@ -856,6 +950,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "sketch_speedup_floor": SKETCH_SPEEDUP_FLOOR,
         "sketch_ratio_bar": SKETCH_RATIO_BAR,
         "sketch_recall_floor": SKETCH_RECALL_FLOOR,
+        "service_cache_floor": SERVICE_CACHE_FLOOR,
         "violations": violations,
     }
     print(f"== bench: serial vs {workers} workers ==")
@@ -883,6 +978,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     if "sketch" in report:
         _print_sketch_bench(report["sketch"])
+    service = report["service"]
+    print(
+        f"service:    {service['repeated']['requests_per_s']:.0f} req/s on "
+        f"repeated-query load (cache hit ratio "
+        f"{service['repeated']['cache_hit_ratio']:.3f}); breaker-open: "
+        f"{service['breaker_open']['stale_served']} stale-served, "
+        f"{service['breaker_open']['unserved']} unserved"
+    )
     for violation in violations:
         marker = "FAIL" if args.enforce else "warn"
         print(f"{marker}: {violation}")
@@ -1056,6 +1159,12 @@ def cmd_stream(args: argparse.Namespace) -> int:
             f"mode: {report.mode}, {report.days} days, "
             f"{report.events} events, coverage {report.coverage_rate:.2%}"
         )
+        verdict = report.ledger_verdict or {}
+        print(
+            f"ledger: {verdict.get('days', 0)} day boundaries audited, "
+            f"balanced: {verdict.get('balanced', True)}, "
+            f"last day: {verdict.get('last_day')}"
+        )
         print(
             f"queue: peak depth {report.queue_peak_depth}, "
             f"{report.forced_drains} forced drains, {report.stalls} stalls"
@@ -1132,6 +1241,175 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 )
             return 1
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve an indexed artifact tree over the JSON-lines TCP frontend.
+
+    The service answers against a version-1 snapshot of the store plus
+    filtered store queries, behind the full overload ladder (token
+    buckets, bounded queue, deadlines, the service↔store breaker).  One
+    JSON object per line in, one contractual response per line out —
+    see docs/service.md for the endpoint shapes.
+    """
+    from repro.service import QueryService, ServicePolicy, serve
+    from repro.store import SqliteStore, index_path_for
+
+    store = SqliteStore.open(index_path_for(args.path), read_only=True)
+    try:
+        service = QueryService(
+            store=store,
+            policy=ServicePolicy.from_name(args.service_policy),
+        )
+        snapshot = service.current_snapshot()
+
+        def ready(frontend):
+            # Printed once the socket is bound, so --port 0 reports the
+            # resolved port.
+            print(
+                f"serving {snapshot.sessions} sessions "
+                f"(snapshot v{snapshot.version}, "
+                f"digest {snapshot.content_digest[:12]}...) "
+                f"on {args.host}:{frontend.port}",
+                flush=True,
+            )
+
+        try:
+            frontend = serve(
+                service,
+                host=args.host,
+                port=args.port,
+                max_requests=args.max_requests,
+                ready=ready,
+            )
+        except KeyboardInterrupt:
+            print("interrupted")
+            return 0
+        print(f"served {frontend.handled} requests")
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Run the seeded service load model and print its outcome ledger.
+
+    Simulates the configured window, exports it to a temporary indexed
+    store, then drives the ``--service-profile`` fault preset against a
+    store-backed service — entirely in memory, no sockets.  The run is
+    a pure function of ``(seed, config, policy)``: the test replays the
+    whole load and checks the two ledger digests are identical.  With
+    ``--enforce`` the command fails on contract violations (any
+    unserved request, a non-deterministic replay) — the CI service
+    smoke runs this under the thundering-herd profile.
+    """
+    import json as json_module
+    import tempfile
+    import time
+
+    from repro.attackers.orchestrator import run_simulation
+    from repro.faults.service import ServiceFaults
+    from repro.service import (
+        QueryService,
+        ServiceLoadModel,
+        ServicePolicy,
+        run_load_test,
+    )
+    from repro.store import SqliteStore, index_path_for
+
+    config = _config(args)
+    if args.days is not None:
+        from datetime import timedelta
+
+        config = config.replace(
+            end=min(config.end, config.start + timedelta(days=args.days - 1))
+        )
+    faults = ServiceFaults.from_name(args.service_profile)
+    policy = ServicePolicy.from_name(args.service_policy)
+
+    with tempfile.TemporaryDirectory(prefix="repro-loadtest-") as tmp:
+        store_dir = Path(tmp)
+        run_simulation(config, store_dir=store_dir)
+        index = index_path_for(store_dir)
+
+        def one_run():
+            store = SqliteStore.open(index, read_only=True)
+            try:
+                service = QueryService(
+                    store=store, policy=policy, seed=config.seed
+                )
+                model = ServiceLoadModel(
+                    seed=config.seed,
+                    clients=args.clients,
+                    ticks=args.ticks,
+                    requests_per_tick=args.requests_per_tick,
+                    faults=faults,
+                )
+                started = time.perf_counter()
+                report = run_load_test(service, model)
+                wall_s = time.perf_counter() - started
+                return report, wall_s, service
+            finally:
+                store.close()
+
+        report, wall_s, service = one_run()
+        replay, _, _ = one_run()
+
+    identical = report.digest() == replay.digest()
+    document = report.as_dict()
+    document["profile"] = args.service_profile
+    document["policy_name"] = args.service_policy
+    document["wall_s"] = round(wall_s, 4)
+    document["requests_per_s"] = (
+        round(report.total / wall_s, 1) if wall_s else None
+    )
+    document["replay_identical"] = identical
+    document["breaker_trips"] = service.breaker.trips
+
+    print(
+        f"== loadtest: profile={args.service_profile} "
+        f"policy={args.service_policy} =="
+    )
+    print(
+        f"requests: {report.total} -> {report.ok} ok, "
+        f"{report.stale} stale, {sum(report.rejected.values())} rejected, "
+        f"{report.unserved} unserved "
+        f"({document['requests_per_s']} req/s)"
+    )
+    if report.rejected:
+        print(
+            "rejections: "
+            + ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(report.rejected.items())
+            )
+        )
+    print(
+        f"cache hit ratio: {report.cache_hit_ratio:.3f}; "
+        f"stale rate: {report.stale_rate:.3f}; "
+        f"breaker trips: {service.breaker.trips}"
+    )
+    print(f"ledger digest: {report.digest()}")
+    print(f"replay identical: {identical}")
+
+    violations: list[str] = []
+    if report.unserved:
+        violations.append(
+            f"{report.unserved} requests left unserved (outside the "
+            "ok/rejected/stale contract)"
+        )
+    if not identical:
+        violations.append(
+            "replaying the same (seed, config, policy) produced a "
+            "different request-outcome ledger"
+        )
+    for violation in violations:
+        marker = "FAIL" if args.enforce else "warn"
+        print(f"{marker}: {violation}")
+    if args.json is not None:
+        args.json.write_text(json_module.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 1 if args.enforce and violations else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -1367,6 +1645,78 @@ def build_parser() -> argparse.ArgumentParser:
         "unless digest and accounting are identical",
     )
     stream.set_defaults(func=cmd_stream)
+
+    from repro.faults.service import SERVICE_PROFILES
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve an indexed artifact tree over the JSON-lines TCP "
+        "query/status service (see docs/service.md)",
+    )
+    serve.add_argument(
+        "path", type=Path,
+        help="artifact tree directory (a --store/--export destination)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 = pick a free one; default 8642)",
+    )
+    serve.add_argument(
+        "--service-policy", choices=("default", "strict"),
+        default="default",
+        help="overload-ladder preset (default: production-shaped)",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="stop after serving N requests (smoke tests); "
+        "default: serve until interrupted",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="drive the seeded service load model (no sockets) and "
+        "print the request-outcome ledger",
+    )
+    _add_common(loadtest)
+    loadtest.add_argument(
+        "--service-profile", choices=SERVICE_PROFILES, default="off",
+        help="client fault preset (slow loris, disconnects, thundering "
+        "herd, store errors, chaos; default off)",
+    )
+    loadtest.add_argument(
+        "--service-policy", choices=("default", "strict"),
+        default="default",
+        help="overload-ladder preset the service runs under",
+    )
+    loadtest.add_argument(
+        "--days", type=int, default=None, metavar="N",
+        help="simulate only the first N days of the window for the "
+        "backing store (default: the full window)",
+    )
+    loadtest.add_argument(
+        "--clients", type=int, default=6,
+        help="distinct client ids in the load model (default 6)",
+    )
+    loadtest.add_argument(
+        "--ticks", type=int, default=15,
+        help="load-model ticks (default 15)",
+    )
+    loadtest.add_argument(
+        "--requests-per-tick", type=int, default=8, metavar="N",
+        help="base requests per tick, herds excluded (default 8)",
+    )
+    loadtest.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the outcome document as JSON",
+    )
+    loadtest.add_argument(
+        "--enforce", action="store_true",
+        help="fail (exit 1) on contract violations: unserved requests "
+        "or a non-deterministic replay",
+    )
+    loadtest.set_defaults(func=cmd_loadtest)
 
     verify = commands.add_parser(
         "verify",

@@ -24,6 +24,10 @@ the simulation:
 * :mod:`repro.faults.flood` — seeded *overload* faults: scan-campaign
   session bursts that push arrivals past the collector's admission
   budget (the defences live in :mod:`repro.overload`).
+* :mod:`repro.faults.service` — seeded *client* faults for the
+  query/status service: slow-loris readers, mid-response disconnects,
+  thundering herds, malformed queries and injected store errors (the
+  defences live in :mod:`repro.service`).
 * :mod:`repro.faults.coverage` — per-month / per-sensor coverage
   accounting so degraded datasets are analysed with explicit gap
   annotations instead of silently misread.
@@ -65,6 +69,12 @@ from repro.faults.flood import (
     FloodGenerator,
     build_flood_generator,
 )
+from repro.faults.service import (
+    SERVICE_PROFILES,
+    ServiceFaults,
+    compile_request_plan,
+    compile_tick_plan,
+)
 from repro.faults.plan import (
     FaultPlan,
     FaultProfile,
@@ -97,7 +107,9 @@ __all__ = [
     "OutageWindow",
     "ResilientChannel",
     "RetryPolicy",
+    "SERVICE_PROFILES",
     "SensorDowntime",
+    "ServiceFaults",
     "TransportFaults",
     "WorkerCrash",
     "WorkerHang",
@@ -109,6 +121,8 @@ __all__ = [
     "build_flood_generator",
     "build_log_corruptor",
     "compile_fault_plan",
+    "compile_request_plan",
+    "compile_tick_plan",
     "config_fingerprint",
     "crash_point",
     "hang_point",

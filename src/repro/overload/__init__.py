@@ -14,6 +14,9 @@ crashes) — this package adds the fourth domain: **too much traffic**.
   the parallel engine: a stalled worker is detected, cancelled at the
   hard deadline, and salvaged through the bounded-retry → serial-
   fallback ladder.
+* :mod:`repro.overload.tokenbucket` — per-client token buckets on the
+  virtual clock, the rate-limiting rung of the query/status service's
+  overload ladder (:mod:`repro.service`).
 
 The arrival side of overload (the seeded scan-flood generator) lives in
 :mod:`repro.faults.flood` with the other fault injectors; this package
@@ -30,6 +33,10 @@ from repro.overload.admission import (
     build_admission_controller,
     record_priority,
 )
+from repro.overload.tokenbucket import (
+    ClientRateLimiter,
+    TokenBucket,
+)
 from repro.overload.watchdog import (
     DeadlinePolicy,
     ShardDeadlineExceeded,
@@ -40,8 +47,10 @@ __all__ = [
     "DEFER",
     "SHED",
     "AdmissionController",
+    "ClientRateLimiter",
     "DeadlinePolicy",
     "ShardDeadlineExceeded",
+    "TokenBucket",
     "build_admission_controller",
     "record_priority",
 ]

@@ -1,0 +1,83 @@
+"""Token buckets on the virtual clock: per-client rate limiting.
+
+The admission controller (:mod:`repro.overload.admission`) guards the
+*ingest* boundary with a daily budget; the query/status service
+(:mod:`repro.service`) needs the classic per-client shape instead — a
+refill rate and a burst allowance, so a polling dashboard is smooth and
+a scripted hammer is clipped.  The bucket runs on the same virtual
+clock as every other supervision primitive: callers pass ``now`` (never
+wall time), so a verdict sequence is a pure function of the arrival
+schedule — replaying the same seeded load model yields the same
+accept/reject ledger byte for byte.
+
+This module must not import :mod:`repro.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TokenBucket:
+    """One principal's budget: ``rate_per_s`` refill, ``burst`` capacity.
+
+    The bucket starts full (a fresh client may burst immediately).
+    Refill is continuous on the virtual clock — no timer thread, no
+    wall-clock dependency, so the verdict for the Nth request depends
+    only on the N-1 arrivals before it.
+    """
+
+    rate_per_s: float
+    burst: float
+    tokens: float = field(init=False)
+    updated_at: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0.0:
+            raise ValueError("rate_per_s must be positive")
+        if self.burst < 1.0:
+            raise ValueError("burst must be at least 1")
+        self.tokens = self.burst
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens at virtual instant ``now`` if available."""
+        if now > self.updated_at:
+            self.tokens = min(
+                self.burst,
+                self.tokens + (now - self.updated_at) * self.rate_per_s,
+            )
+            self.updated_at = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+@dataclass
+class ClientRateLimiter:
+    """A lazily-populated bucket per client id, all on one policy."""
+
+    rate_per_s: float
+    burst: float
+    _buckets: dict[str, TokenBucket] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    allowed: int = field(default=0, init=False)
+    limited: int = field(default=0, init=False)
+
+    def allow(self, client_id: str, now: float) -> bool:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(rate_per_s=self.rate_per_s, burst=self.burst)
+            bucket.updated_at = now
+            self._buckets[client_id] = bucket
+        if bucket.allow(now):
+            self.allowed += 1
+            return True
+        self.limited += 1
+        return False
+
+    @property
+    def clients(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,151 @@
+"""Optional real-socket frontend: JSON lines over TCP.
+
+Everything the service *is* lives in :mod:`repro.service.core` and is
+exercised in-memory — the tier-1 suite never opens a socket.  This
+module is the thin translation layer behind ``repro serve``: one JSON
+object per line in (``{"kind": ..., "params": ..., "client_id": ...,
+"priority": ...}``), one contractual response object per line out.
+
+The frontend adds no policy of its own: a connection's peer name is the
+default client id (so the per-client token buckets see real peers), a
+line that is not valid JSON is answered as ``rejected(malformed)``
+through the same validation rung everything else uses, and the virtual
+clock advances per request exactly as under the load model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.core import (
+    PRIORITY_LOW,
+    PRIORITY_STATUS,
+    QueryService,
+    Request,
+)
+
+
+class ServiceFrontend:
+    """One TCP listener translating JSON lines to service requests."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        max_requests: int | None = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        #: Stop serving after this many requests (smoke tests); None
+        #: means serve until cancelled.
+        self.max_requests = max_requests
+        self.handled = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._done = asyncio.Event()
+
+    def _parse(self, line: bytes, peer: str) -> Request | None:
+        try:
+            payload = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        kind = str(payload.get("kind", ""))
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            return None
+        priority = str(
+            payload.get(
+                "priority",
+                PRIORITY_STATUS if kind == "status" else PRIORITY_LOW,
+            )
+        )
+        return Request(
+            client_id=str(payload.get("client_id", peer)),
+            kind=kind,
+            params=params,
+            priority=priority,
+        )
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if peername else "unknown"
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                request = self._parse(line, peer)
+                if request is None:
+                    # Unparseable input goes through the same reject
+                    # rung as a well-formed-but-invalid query.
+                    request = Request(client_id=peer, kind="unparseable")
+                response = await self.service.handle(request)
+                writer.write(
+                    json.dumps(response.as_dict(), sort_keys=True).encode(
+                        "utf-8"
+                    )
+                    + b"\n"
+                )
+                await writer.drain()
+                self.handled += 1
+                if (
+                    self.max_requests is not None
+                    and self.handled >= self.max_requests
+                ):
+                    self._done.set()
+                    break
+        except ConnectionResetError:
+            pass  # a real client disconnect is not an error
+        finally:
+            writer.close()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_until_done(self, ready=None) -> None:
+        """Serve until ``max_requests`` is reached (or forever).
+
+        ``ready`` is called with this frontend once the socket is bound
+        (so a ``--port 0`` caller can learn the resolved port).
+        """
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        if ready is not None:
+            ready(self)
+        async with self._server:
+            if self.max_requests is None:
+                await self._server.serve_forever()
+            else:
+                await self._done.wait()
+
+
+def serve(
+    service: QueryService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    max_requests: int | None = None,
+    ready=None,
+) -> ServiceFrontend:
+    """Run the frontend on a fresh event loop (the ``repro serve`` body)."""
+    frontend = ServiceFrontend(
+        service, host=host, port=port, max_requests=max_requests
+    )
+    asyncio.run(frontend.serve_until_done(ready=ready))
+    return frontend

@@ -45,6 +45,7 @@ from repro.store.base import (
     StoreMeta,
     content_digest,
     index_rows,
+    snapshot_aggregates,
 )
 from repro.store.builder import (
     export_indexed_tree,
@@ -71,4 +72,5 @@ __all__ = [
     "index_rows",
     "load_tree_records",
     "rebuild_index",
+    "snapshot_aggregates",
 ]

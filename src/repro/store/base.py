@@ -169,6 +169,23 @@ def normalize_filters(filters: dict) -> dict[str, str]:
     return cleaned
 
 
+def snapshot_aggregates(store: "ArtifactStore") -> dict:
+    """The headline aggregates a service snapshot is built from.
+
+    One ``count_by`` per axis (the paper's per-day and per-label
+    figures are exactly these groupings), plus the meta identity —
+    everything :class:`repro.service.Snapshot` needs to describe an
+    indexed tree, in one round trip per axis.
+    """
+    meta = store.meta()
+    return {
+        "sessions": meta.record_count,
+        "content_digest": meta.content_digest,
+        "by_day": store.count_by("day"),
+        "by_label": store.count_by("rule_label"),
+    }
+
+
 def record_hash(session: SessionRecord) -> str:
     """Content hash of one record — exactly the dataset digest's
     per-record hashing (canonical sorted-key JSON of the session dict),

@@ -144,6 +144,7 @@ class SqliteStore(ArtifactStore):
         *,
         expected_fingerprint: str | None = None,
         expected_digest: str | None = None,
+        read_only: bool = False,
     ) -> "SqliteStore":
         """Open and vet an existing index before first use.
 
@@ -152,12 +153,24 @@ class SqliteStore(ArtifactStore):
         describe — compares the stored config fingerprint and content
         digest, raising :class:`StaleIndexError` on mismatch.  An index
         that fails any gate is never queried.
+
+        ``read_only=True`` opens through a ``mode=ro`` URI: the
+        connection can never write, so any number of concurrent readers
+        (the query service's snapshot queries, a live dashboard) share
+        the file with WAL semantics while a rebuild publishes a new
+        index via temp+rename next to them — an open reader keeps
+        answering from the inode it holds.
         """
         path = Path(path)
         if not path.exists():
             raise StoreError("no such index", path=path, reason="absent")
         try:
-            connection = sqlite3.connect(path)
+            if read_only:
+                connection = sqlite3.connect(
+                    f"file:{path}?mode=ro", uri=True
+                )
+            else:
+                connection = sqlite3.connect(path)
         except sqlite3.Error as error:  # pragma: no cover - connect rarely fails
             raise StoreError(
                 f"cannot open index: {error}", path=path, reason="unreadable"

@@ -99,6 +99,8 @@ class RollingLedger:
     last: dict[str, int] = field(default_factory=dict)
     #: Cumulative per-bucket deltas observed since the ledger started.
     totals: dict[str, int] = field(default_factory=dict)
+    #: ISO date of the newest audited boundary, or None before the first.
+    last_day: str | None = None
 
     def audit(self, collector: Collector, day: date) -> None:
         if not collector.accounting_balanced():
@@ -121,6 +123,7 @@ class RollingLedger:
                 self.totals[key] = self.totals.get(key, 0) + delta
         self.last = current
         self.days += 1
+        self.last_day = day.isoformat()
 
     @property
     def coverage_rate(self) -> float:
@@ -129,6 +132,44 @@ class RollingLedger:
         if not generated:
             return 1.0
         return self.totals.get("stored", 0) / generated
+
+    def verdict(self) -> dict:
+        """The latest day-boundary audit verdict, as the status endpoint
+        and checkpoint report it.
+
+        ``balanced`` is definitionally True on any live ledger — a
+        violation raises :class:`StreamIntegrityError` at the boundary
+        it happens, so a ledger you can still ask is one whose every
+        audited day passed.
+        """
+        return {
+            "days": self.days,
+            "balanced": True,
+            "coverage_rate": round(self.coverage_rate, 6),
+            "last_day": self.last_day,
+        }
+
+    def snapshot(self) -> dict:
+        """Checkpoint payload: enough to resume audit continuity."""
+        return {
+            "days": self.days,
+            "last_day": self.last_day,
+            "last": dict(self.last),
+            "totals": dict(self.totals),
+        }
+
+    def restore(self, payload: dict) -> None:
+        self.days = int(payload["days"])
+        last_day = payload.get("last_day")
+        self.last_day = str(last_day) if last_day is not None else None
+        self.last = {
+            str(key): int(value)
+            for key, value in payload.get("last", {}).items()
+        }
+        self.totals = {
+            str(key): int(value)
+            for key, value in payload.get("totals", {}).items()
+        }
 
 
 @dataclass
@@ -154,6 +195,8 @@ class StreamReport:
     ledger_days: int
     coverage_rate: float
     online_clusters: int | None = None
+    #: Latest :meth:`RollingLedger.verdict` at run end.
+    ledger_verdict: dict | None = None
 
 
 class StreamSubstrate:
@@ -162,13 +205,20 @@ class StreamSubstrate:
     virtual clock) wrapped around it."""
 
     def __init__(
-        self, base: SimulationSubstrate, policy: StreamPolicy
+        self,
+        base: SimulationSubstrate,
+        policy: StreamPolicy,
+        publisher=None,
     ) -> None:
         self.base = base
         self.policy = policy
         self.collector = base.fresh_collector()
         self.channel = base.fresh_channel(self.collector)
         self.ledger = RollingLedger()
+        #: Optional :class:`repro.service.SnapshotPublisher` — a pure
+        #: observer handed each day boundary (duck-typed here so the
+        #: stream layer never imports the service layer above it).
+        self.publisher = publisher
         self.supervisor: StreamSupervisor | None = None
         self.clusterer = None
         self._fault_tree = None
@@ -524,6 +574,7 @@ class StreamSubstrate:
         state = self.supervisor.snapshot()
         state["clock"] = self._now
         state["faults"] = repr(self.policy.faults)
+        state["ledger"] = self.ledger.snapshot()
         return state
 
     def _restore_stream_state(self, state: dict) -> None:
@@ -538,6 +589,9 @@ class StreamSubstrate:
         clock = state.get("clock")
         if clock is not None:
             self._now = float(clock)
+        ledger = state.get("ledger")
+        if ledger is not None:
+            self.ledger.restore(ledger)
         self._sync_admission()
 
     def _report(self) -> StreamReport:
@@ -574,6 +628,7 @@ class StreamSubstrate:
                 if self.clusterer is not None
                 else None
             ),
+            ledger_verdict=self.ledger.verdict(),
         )
 
     # ------------------------------------------------------------------
@@ -653,6 +708,17 @@ class StreamSubstrate:
                 collector.end_of_day()
                 channel.flush_telemetry()
                 self._end_day(day)
+                if self.publisher is not None:
+                    self.publisher.publish_day(
+                        collector,
+                        day,
+                        supervisor=self.supervisor,
+                        ledger=(
+                            self.ledger
+                            if self.supervisor is not None
+                            else None
+                        ),
+                    )
                 days_done += 1
                 stopping = stop_after is not None and day >= stop_after
                 if checkpoint_path is not None and (
@@ -685,6 +751,7 @@ def run_stream(
     resume: bool = False,
     stop_after: date | None = None,
     store_dir: Path | str | None = None,
+    publisher=None,
 ) -> SimulationResult:
     """Run ``config`` through the (optionally supervised) stream engine.
 
@@ -693,12 +760,15 @@ def run_stream(
     A supervised policy adds the robustness layer; a supervised
     fault-free policy still produces byte-identical digests, accounting
     and checkpoints.  Supervised results carry a :class:`StreamReport`
-    on ``result.stream``.
+    on ``result.stream``.  ``publisher`` (a
+    :class:`repro.service.SnapshotPublisher`) receives every day
+    boundary; it observes, never mutates, so attaching one is
+    digest-neutral.
     """
     if policy is None:
         policy = StreamPolicy.replay()
     substrate = build_substrate(config, extra_bots_factory)
-    stream = StreamSubstrate(substrate, policy)
+    stream = StreamSubstrate(substrate, policy, publisher=publisher)
     result = stream.run(
         checkpoint_path=checkpoint_path,
         checkpoint_every_days=checkpoint_every_days,

@@ -92,7 +92,11 @@ __all__ = [
 #: ``stream.*`` counters describe the supervision layer of the stream
 #: engine (queue depths, breaker/mode transitions, heartbeat breaches)
 #: — supervision exists only on that engine, so they are engine-class
-#: metrics too.
+#: metrics too.  ``service.*`` counters describe the query/status
+#: service (cache traffic, overload rejections, stale serves, snapshot
+#: publication) — the service is an optional attachment whose presence
+#: must not change the comparable view, so its whole catalog is
+#: engine-class.
 MERGE_ONLY_PREFIXES = (
     "parallel.",
     "collector.absorb.",
@@ -100,6 +104,7 @@ MERGE_ONLY_PREFIXES = (
     "overload.watchdog.",
     "store.",
     "stream.",
+    "service.",
 )
 
 #: The currently active registry, or None while telemetry is disabled.

@@ -8,6 +8,8 @@ differential suites compare against.
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 from datetime import date
 
 import pytest
@@ -31,6 +33,33 @@ SHORT_WINDOW = dict(start=date(2023, 9, 15), end=date(2023, 10, 20))
 
 #: Every named fault profile (the differential suites sweep all three).
 PROFILES = ("none", "paper", "stress")
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    """Event-loop policy for async tests: one fresh loop per test.
+
+    The service suite's coroutine tests run here, on a loop created for
+    the test and closed (and deregistered) immediately after — no loop
+    ever leaks into the synchronous tier-1 tests, and the suite does not
+    depend on pytest-asyncio being importable (it is pinned in the dev
+    extras for environments that have it, but this hook takes
+    precedence either way).
+    """
+    function = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(function):
+        return None
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    loop = asyncio.new_event_loop()
+    try:
+        loop.run_until_complete(function(**kwargs))
+    finally:
+        loop.close()
+        asyncio.set_event_loop(None)
+    return True
 
 
 def make_record(

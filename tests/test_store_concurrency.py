@@ -1,0 +1,153 @@
+"""Concurrent read-only store opens across export and index rebuild.
+
+The query service opens the index read-only while exports and rebuilds
+publish new index files via temp+rename next to it.  These tests pin
+the concurrency contract that makes that safe on the WAL/read-only
+design: an open reader keeps answering from the inode it holds, a
+fresh open sees the newly published index, and any number of readers
+can open and query while a writer republishes — no torn reads, no
+crashes, no writes through a read-only connection.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.store import (
+    SqliteStore,
+    export_indexed_tree,
+    index_path_for,
+    rebuild_index,
+)
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture(scope="module")
+def sessions(serial_baselines):
+    """The fault-free baseline's session records (shared, read-only)."""
+    return list(serial_baselines["none"].database)
+
+
+def test_open_reader_survives_index_republish(tmp_path, sessions):
+    """temp+rename republish never disturbs a reader already open."""
+    root = tmp_path / "tree"
+    export_indexed_tree(sessions[:50], root)
+    reader = SqliteStore.open(index_path_for(root), read_only=True)
+    assert reader.count() == 50
+    # Republish the full dataset over the same path while the reader
+    # holds the old index open.
+    export_indexed_tree(sessions, root)
+    assert reader.count() == 50  # still the inode it opened
+    assert reader.meta().record_count == 50
+    fresh = SqliteStore.open(index_path_for(root), read_only=True)
+    assert fresh.count() == len(sessions)
+    reader.close()
+    fresh.close()
+
+
+def test_open_reader_survives_index_rebuild(tmp_path, sessions):
+    """``rebuild_index`` atomically replaces the file under a reader."""
+    root = tmp_path / "tree"
+    export_indexed_tree(sessions, root)
+    reader = SqliteStore.open(index_path_for(root), read_only=True)
+    labels_before = reader.count_by("rule_label")
+    path, count = rebuild_index(root)
+    assert count == len(sessions)
+    # The old reader still answers consistently from its held index...
+    assert reader.count() == len(sessions)
+    assert reader.count_by("rule_label") == labels_before
+    # ...and a fresh open sees the rebuilt one, with equal content.
+    rebuilt = SqliteStore.open(path, read_only=True)
+    assert rebuilt.count() == len(sessions)
+    assert rebuilt.count_by("rule_label") == labels_before
+    reader.close()
+    rebuilt.close()
+
+
+def test_read_only_connection_refuses_writes(tmp_path, sessions):
+    root = tmp_path / "tree"
+    export_indexed_tree(sessions[:10], root)
+    reader = SqliteStore.open(index_path_for(root), read_only=True)
+    with pytest.raises(sqlite3.OperationalError):
+        reader._connection.execute("DELETE FROM sessions")
+    # The failed write changed nothing.
+    assert reader.count() == 10
+    reader.close()
+
+
+def test_concurrent_readers_while_writer_republishes(tmp_path, sessions):
+    """Readers opening/querying in parallel with republishes only ever
+    see one of the two complete datasets — never an error, never a
+    torn count."""
+    root = tmp_path / "tree"
+    export_indexed_tree(sessions[:40], root)
+    valid_counts = {40, len(sessions)}
+    errors: list[Exception] = []
+    observed: set[int] = set()
+    stop = threading.Event()
+
+    def read_loop() -> None:
+        try:
+            while not stop.is_set():
+                store = SqliteStore.open(
+                    index_path_for(root), read_only=True
+                )
+                observed.add(store.count())
+                store.close()
+        except Exception as error:  # noqa: BLE001 - collected for assert
+            errors.append(error)
+
+    readers = [threading.Thread(target=read_loop) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    try:
+        for _ in range(3):
+            export_indexed_tree(sessions, root)
+            export_indexed_tree(sessions[:40], root)
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join()
+    assert errors == []
+    assert observed  # the readers actually ran
+    assert observed <= valid_counts
+
+
+def test_many_concurrent_readonly_opens_agree(tmp_path, sessions):
+    """Several simultaneous read-only connections share the WAL file and
+    agree on every answer."""
+    root = tmp_path / "tree"
+    export_indexed_tree(sessions, root)
+    results: list[tuple] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def open_and_query() -> None:
+        # SQLite connections are thread-affine, so each reader opens
+        # its own — exactly how concurrent service workers would.
+        try:
+            store = SqliteStore.open(index_path_for(root), read_only=True)
+            try:
+                answer = (
+                    store.count(),
+                    tuple(sorted(store.count_by("day").items())),
+                )
+            finally:
+                store.close()
+            with lock:
+                results.append(answer)
+        except Exception as error:  # noqa: BLE001 - collected for assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=open_and_query) for _ in range(5)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert len(results) == 5
+    assert len(set(results)) == 1  # every reader saw the same dataset
